@@ -1,0 +1,337 @@
+// Package agree is the public API of the reproduction: one call configures
+// and executes a uniform-consensus run under any of the implemented
+// protocols, models, engines and fault scenarios, and returns a validated
+// report.
+//
+// The three protocols are the paper's algorithm (ProtocolCRW, extended
+// synchronous model, decides in at most f+1 rounds) and the two classic-model
+// baselines it is measured against (ProtocolEarlyStop, min(f+2, t+1) rounds;
+// ProtocolFloodSet, always t+1 rounds).
+//
+// Quickstart:
+//
+//	report, err := agree.Run(agree.Config{
+//	    N:        8,
+//	    Protocol: agree.ProtocolCRW,
+//	    Faults:   agree.CoordinatorCrashes(2),
+//	})
+//	// report.Rounds == 3 (= f+1), report.Decisions all equal.
+package agree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/consensus/earlystop"
+	"repro/internal/consensus/floodset"
+	"repro/internal/core"
+	"repro/internal/diagram"
+	"repro/internal/lockstep"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simulate"
+	"repro/internal/trace"
+)
+
+// Protocol selects the consensus algorithm.
+type Protocol string
+
+// Implemented protocols.
+const (
+	// ProtocolCRW is the paper's rotating-coordinator algorithm for the
+	// extended synchronous model (Figure 1).
+	ProtocolCRW Protocol = "crw"
+	// ProtocolEarlyStop is the classic-model early-stopping uniform
+	// consensus baseline (min(f+2, t+1) rounds).
+	ProtocolEarlyStop Protocol = "earlystop"
+	// ProtocolFloodSet is the classic FloodSet baseline (t+1 rounds).
+	ProtocolFloodSet Protocol = "floodset"
+)
+
+// EngineKind selects the execution engine.
+type EngineKind string
+
+// Implemented engines.
+const (
+	// EngineDeterministic is the sequential round engine (exact, fast,
+	// exhaustively explorable).
+	EngineDeterministic EngineKind = "deterministic"
+	// EngineLockstep runs one goroutine per process with channel-based
+	// message delivery and barrier-synchronized rounds.
+	EngineLockstep EngineKind = "lockstep"
+)
+
+// FaultSpec describes the crash scenario of a run.
+type FaultSpec struct {
+	kind       string
+	f          int
+	deliver    bool
+	ctrlPrefix int
+	seed       int64
+	prob       float64
+	max        int
+	script     map[sim.ProcID]adversary.CrashPlan
+}
+
+// NoFaults returns the failure-free scenario.
+func NoFaults() FaultSpec { return FaultSpec{kind: "none"} }
+
+// CoordinatorCrashes crashes the coordinator of each of the first f rounds
+// silently (no messages escape) — the worst case schedule that forces the
+// paper's algorithm to its f+1 bound.
+func CoordinatorCrashes(f int) FaultSpec {
+	return FaultSpec{kind: "coordkiller", f: f, ctrlPrefix: 0}
+}
+
+// CoordinatorCrashesDelivering crashes the first f coordinators after their
+// data step completed, with ctrlPrefix control messages escaping
+// (adversary.CtrlAll for the full sequence).
+func CoordinatorCrashesDelivering(f, ctrlPrefix int) FaultSpec {
+	return FaultSpec{kind: "coordkiller", f: f, deliver: true, ctrlPrefix: ctrlPrefix}
+}
+
+// RandomFaults crashes each alive process with probability prob per round,
+// at most max crashes total, deterministically for a seed.
+func RandomFaults(seed int64, prob float64, max int) FaultSpec {
+	return FaultSpec{kind: "random", seed: seed, prob: prob, max: max}
+}
+
+// ScriptedFaults uses explicit per-process crash plans.
+func ScriptedFaults(plans map[int]CrashPlan) FaultSpec {
+	script := map[sim.ProcID]adversary.CrashPlan{}
+	for p, cp := range plans {
+		script[sim.ProcID(p)] = adversary.CrashPlan{
+			Round:          sim.Round(cp.Round),
+			DeliverAllData: cp.DeliverAllData,
+			DataMask:       cp.DataMask,
+			CtrlPrefix:     cp.CtrlPrefix,
+		}
+	}
+	return FaultSpec{kind: "script", script: script}
+}
+
+// CrashPlan mirrors adversary.CrashPlan for the public API.
+type CrashPlan struct {
+	Round          int
+	DeliverAllData bool
+	DataMask       []bool
+	CtrlPrefix     int
+}
+
+// CtrlAll requests full control delivery in a CrashPlan.
+const CtrlAll = adversary.CtrlAll
+
+// build materializes the adversary.
+func (f FaultSpec) build() sim.Adversary {
+	switch f.kind {
+	case "coordkiller":
+		return adversary.CoordinatorKiller{F: f.f, DeliverAllData: f.deliver, CtrlPrefix: f.ctrlPrefix}
+	case "random":
+		return adversary.NewRandom(f.seed, f.prob, f.max)
+	case "script":
+		return adversary.NewScript(f.script)
+	default:
+		return adversary.None{}
+	}
+}
+
+// Config configures a run.
+type Config struct {
+	// N is the number of processes (required).
+	N int
+	// T is the resilience bound for the classic baselines; 0 defaults to
+	// N-1 (crash-stop consensus tolerates any minority-free bound).
+	T int
+	// Protocol selects the algorithm (default ProtocolCRW).
+	Protocol Protocol
+	// Engine selects the execution engine (default EngineDeterministic).
+	Engine EngineKind
+	// Proposals are the proposed values; nil defaults to 100+i for p_{i+1}.
+	Proposals []int64
+	// Bits is the proposal bit width b used for Theorem 2 accounting
+	// (default 64).
+	Bits int
+	// Faults is the crash scenario (default NoFaults).
+	Faults FaultSpec
+	// SimulateOnClassic runs the extended-model protocol through the
+	// Section 2.2 simulation on top of the classic model (CRW only).
+	SimulateOnClassic bool
+	// Trace enables the execution transcript in the report (deterministic
+	// engine only).
+	Trace bool
+	// Diagram additionally renders a space-time diagram of the execution
+	// (implies Trace).
+	Diagram bool
+}
+
+// Report is the validated outcome of a run.
+type Report struct {
+	// Rounds is the number of rounds executed (micro rounds when
+	// SimulateOnClassic is set; see MacroRounds).
+	Rounds int
+	// MacroRounds is the extended-model round count (equals Rounds except
+	// under SimulateOnClassic).
+	MacroRounds int
+	// Decisions maps process id to decided value.
+	Decisions map[int]int64
+	// DecideRound maps process id to decision round.
+	DecideRound map[int]int
+	// Crashed maps crashed process ids to crash rounds.
+	Crashed map[int]int
+	// Counters holds communication costs.
+	Counters metrics.Counters
+	// ConsensusErr is nil when the run satisfies uniform consensus
+	// (validity, uniform agreement, termination).
+	ConsensusErr error
+	// Transcript is the execution trace when Config.Trace was set.
+	Transcript string
+	// Diagram is the rendered space-time diagram when Config.Diagram was
+	// set.
+	Diagram string
+}
+
+// Faults returns the number of crashes that occurred.
+func (r *Report) Faults() int { return len(r.Crashed) }
+
+// MaxDecideRound returns the latest decision round (macro rounds under
+// simulation).
+func (r *Report) MaxDecideRound() int {
+	max := 0
+	for _, rd := range r.DecideRound {
+		if rd > max {
+			max = rd
+		}
+	}
+	return max
+}
+
+// Run executes one consensus instance and validates it.
+func Run(cfg Config) (*Report, error) {
+	if cfg.N < 1 {
+		return nil, errors.New("agree: N must be at least 1")
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = ProtocolCRW
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = EngineDeterministic
+	}
+	if cfg.T <= 0 || cfg.T >= cfg.N {
+		cfg.T = cfg.N - 1
+	}
+	if cfg.N == 1 {
+		cfg.T = 0
+	}
+	proposals := make([]sim.Value, cfg.N)
+	for i := range proposals {
+		if cfg.Proposals != nil {
+			if len(cfg.Proposals) != cfg.N {
+				return nil, fmt.Errorf("agree: %d proposals for %d processes", len(cfg.Proposals), cfg.N)
+			}
+			proposals[i] = sim.Value(cfg.Proposals[i])
+		} else {
+			proposals[i] = sim.Value(100 + i)
+		}
+	}
+
+	procs, model, horizon, err := buildProtocol(cfg, proposals)
+	if err != nil {
+		return nil, err
+	}
+
+	adv := cfg.Faults.build()
+	if cfg.Diagram {
+		cfg.Trace = true
+	}
+	var res *sim.Result
+	var log *trace.Log
+	switch cfg.Engine {
+	case EngineDeterministic:
+		if cfg.Trace {
+			log = trace.New()
+		}
+		eng, err := sim.NewEngine(sim.Config{Model: model, Horizon: horizon, Trace: log}, procs, adv)
+		if err != nil {
+			return nil, err
+		}
+		res, err = eng.Run()
+		if err != nil {
+			return nil, err
+		}
+	case EngineLockstep:
+		if cfg.Trace {
+			return nil, errors.New("agree: tracing requires the deterministic engine")
+		}
+		rt, err := lockstep.New(lockstep.Config{Model: model, Horizon: horizon}, procs, adv)
+		if err != nil {
+			return nil, err
+		}
+		res, err = rt.Run()
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("agree: unknown engine %q", cfg.Engine)
+	}
+
+	rep := &Report{
+		Rounds:       int(res.Rounds),
+		MacroRounds:  int(res.Rounds),
+		Decisions:    map[int]int64{},
+		DecideRound:  map[int]int{},
+		Crashed:      map[int]int{},
+		Counters:     res.Counters,
+		ConsensusErr: check.Consensus(proposals, res),
+	}
+	if cfg.SimulateOnClassic {
+		rep.MacroRounds = int(simulate.MacroRound(res.Rounds, cfg.N))
+	}
+	for id, v := range res.Decisions {
+		rep.Decisions[int(id)] = int64(v)
+		dr := res.DecideRound[id]
+		if cfg.SimulateOnClassic {
+			dr = simulate.MacroRound(dr, cfg.N)
+		}
+		rep.DecideRound[int(id)] = int(dr)
+	}
+	for id, r := range res.Crashed {
+		rep.Crashed[int(id)] = int(r)
+	}
+	if log != nil {
+		rep.Transcript = log.String()
+		if cfg.Diagram {
+			rep.Diagram = diagram.Render(log, cfg.N)
+		}
+	}
+	return rep, nil
+}
+
+// buildProtocol constructs the process set, model, and horizon for a config.
+func buildProtocol(cfg Config, proposals []sim.Value) ([]sim.Process, sim.Model, sim.Round, error) {
+	switch cfg.Protocol {
+	case ProtocolCRW:
+		procs := core.NewSystem(proposals, core.Options{Bits: cfg.Bits})
+		horizon := sim.Round(cfg.N + 2)
+		if cfg.SimulateOnClassic {
+			return simulate.OnClassic(procs), sim.ModelClassic,
+				simulate.MicroRounds(horizon, cfg.N), nil
+		}
+		return procs, sim.ModelExtended, horizon, nil
+	case ProtocolEarlyStop:
+		if cfg.SimulateOnClassic {
+			return nil, 0, 0, errors.New("agree: SimulateOnClassic applies to the CRW protocol only")
+		}
+		return earlystop.NewSystem(proposals, cfg.T, cfg.Bits), sim.ModelClassic,
+			sim.Round(cfg.T + 2), nil
+	case ProtocolFloodSet:
+		if cfg.SimulateOnClassic {
+			return nil, 0, 0, errors.New("agree: SimulateOnClassic applies to the CRW protocol only")
+		}
+		return floodset.NewSystem(proposals, cfg.T, cfg.Bits), sim.ModelClassic,
+			sim.Round(cfg.T + 2), nil
+	default:
+		return nil, 0, 0, fmt.Errorf("agree: unknown protocol %q", cfg.Protocol)
+	}
+}

@@ -1,0 +1,479 @@
+// Package repro's root benchmarks time the workload behind each experiment
+// table E1–E14 (see DESIGN.md for the experiment index). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports, alongside ns/op, a domain metric via
+// b.ReportMetric (rounds, messages, executions) so benchmark output doubles
+// as a compact reproduction record.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/agree"
+	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/consensus/mr99"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/ffd"
+	"repro/internal/lockstep"
+	"repro/internal/sim"
+	"repro/internal/simulate"
+	"repro/internal/smr"
+	"repro/internal/snapshot"
+
+	"repro/internal/async"
+)
+
+// run executes one agree.Run and fails the benchmark on any error.
+func run(b *testing.B, cfg agree.Config) *agree.Report {
+	b.Helper()
+	rep, err := agree.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.ConsensusErr != nil {
+		b.Fatal(rep.ConsensusErr)
+	}
+	return rep
+}
+
+// BenchmarkE1RoundsVsFaults times the Theorem 1 workload: one worst-case
+// CRW execution with n=32, f=8 (decides in exactly 9 rounds).
+func BenchmarkE1RoundsVsFaults(b *testing.B) {
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		rep := run(b, agree.Config{N: 32, Faults: agree.CoordinatorCrashes(8)})
+		rounds = rep.MaxDecideRound()
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE1FailureFree times the one-round happy path at n=64.
+func BenchmarkE1FailureFree(b *testing.B) {
+	var msgs int
+	for i := 0; i < b.N; i++ {
+		rep := run(b, agree.Config{N: 64})
+		msgs = rep.Counters.TotalMsgs()
+	}
+	b.ReportMetric(float64(msgs), "msgs")
+}
+
+// BenchmarkE2BitComplexity times the Theorem 2 adversarial workload (full
+// data steps, no commits, t+1 rounds) at n=32, b=64.
+func BenchmarkE2BitComplexity(b *testing.B) {
+	var bits int
+	for i := 0; i < b.N; i++ {
+		rep := run(b, agree.Config{N: 32, Bits: 64,
+			Faults: agree.CoordinatorCrashesDelivering(31, 0)})
+		bits = rep.Counters.TotalBits()
+	}
+	b.ReportMetric(float64(bits), "bits")
+}
+
+// BenchmarkE3Crossover times the Section 2.2 sweep: 2 protocols × 5 fault
+// counts priced under the cost model.
+func BenchmarkE3Crossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for f := 0; f < 5; f++ {
+			run(b, agree.Config{N: 10, Faults: agree.CoordinatorCrashes(f)})
+			run(b, agree.Config{N: 10, T: 8, Protocol: agree.ProtocolEarlyStop,
+				Faults: agree.CoordinatorCrashes(f)})
+		}
+	}
+}
+
+// BenchmarkE4EarlyStop times the classic early-stopping baseline at n=32,
+// f=2 (decides in 4 rounds, Θ(n²) messages per round).
+func BenchmarkE4EarlyStop(b *testing.B) {
+	var msgs int
+	for i := 0; i < b.N; i++ {
+		rep := run(b, agree.Config{N: 32, T: 31, Protocol: agree.ProtocolEarlyStop,
+			Faults: agree.CoordinatorCrashes(2)})
+		msgs = rep.Counters.TotalMsgs()
+	}
+	b.ReportMetric(float64(msgs), "msgs")
+}
+
+// BenchmarkE4FloodSet times the FloodSet baseline at n=32, t=8 (always t+1
+// rounds).
+func BenchmarkE4FloodSet(b *testing.B) {
+	var msgs int
+	for i := 0; i < b.N; i++ {
+		rep := run(b, agree.Config{N: 32, T: 8, Protocol: agree.ProtocolFloodSet})
+		msgs = rep.Counters.TotalMsgs()
+	}
+	b.ReportMetric(float64(msgs), "msgs")
+}
+
+// BenchmarkE5Exhaustive times the full state-space exploration of n=4, t=2
+// (the Theorem 4/5 tightness check: 151 executions).
+func BenchmarkE5Exhaustive(b *testing.B) {
+	var execs int
+	for i := 0; i < b.N; i++ {
+		factory := func(ch interface{ Choose(int) int }) check.Execution {
+			props := []sim.Value{10, 11, 12, 13}
+			return check.Execution{
+				Procs:     core.NewSystem(props, core.Options{}),
+				Adv:       adversary.NewFromChooser(ch, 2, 4),
+				Cfg:       sim.Config{Model: sim.ModelExtended, Horizon: 6},
+				Proposals: props,
+			}
+		}
+		stats, err := check.Explore(factory,
+			func(ex check.Execution, res *sim.Result, engineErr error) error {
+				if engineErr != nil {
+					return engineErr
+				}
+				if err := check.Consensus(ex.Proposals, res); err != nil {
+					return err
+				}
+				return check.RoundBound(res, check.BoundFPlus1)
+			}, check.ExploreOpts{Budget: 1_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(stats.Counterexamples) != 0 {
+			b.Fatal("unexpected violation")
+		}
+		execs = stats.Executions
+	}
+	b.ReportMetric(float64(execs), "executions")
+}
+
+// BenchmarkE6Simulation times the Section 2.2 extended-on-classic
+// simulation at n=16 (16 micro rounds per macro round).
+func BenchmarkE6Simulation(b *testing.B) {
+	var micro int
+	for i := 0; i < b.N; i++ {
+		rep := run(b, agree.Config{N: 16, SimulateOnClassic: true})
+		micro = rep.Rounds
+	}
+	b.ReportMetric(float64(micro), "microrounds")
+}
+
+// BenchmarkE7FastFD times the discrete-event fast-failure-detector run at
+// n=10, f=4 (decides at D + 4d).
+func BenchmarkE7FastFD(b *testing.B) {
+	cfg := ffd.Config{N: 10, D: 1.0, Dd: 0.05}
+	props := make([]sim.Value, 10)
+	for i := range props {
+		props[i] = sim.Value(100 + i)
+	}
+	var decideAt float64
+	for i := 0; i < b.N; i++ {
+		res, err := ffd.Run(cfg, props, ffd.KillFirstF{F: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		decideAt = float64(res.MaxDecideTime())
+	}
+	b.ReportMetric(decideAt, "decide-time")
+}
+
+// BenchmarkE8BridgeMR99 times one failure-free MR99 instance at n=16 (one
+// round: n-1 + n(n-1) messages).
+func BenchmarkE8BridgeMR99(b *testing.B) {
+	props := make([]sim.Value, 16)
+	for i := range props {
+		props[i] = sim.Value(100 + i)
+	}
+	var msgs int
+	for i := 0; i < b.N; i++ {
+		res, err := mr99.Run(mr99.Config{N: 16, T: 7}, props, &mr99.GSTOracle{GST: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.Trace[0].Step1Msgs + res.Trace[0].Step2Msgs
+	}
+	b.ReportMetric(float64(msgs), "msgs")
+}
+
+// BenchmarkE9Messages times the message-count comparison workload: CRW vs
+// FloodSet at n=32 under 4 coordinator crashes.
+func BenchmarkE9Messages(b *testing.B) {
+	var crwMsgs, floodMsgs int
+	for i := 0; i < b.N; i++ {
+		crw := run(b, agree.Config{N: 32, Faults: agree.CoordinatorCrashesDelivering(4, 0)})
+		fs := run(b, agree.Config{N: 32, T: 31, Protocol: agree.ProtocolFloodSet,
+			Faults: agree.CoordinatorCrashes(4)})
+		crwMsgs, floodMsgs = crw.Counters.TotalMsgs(), fs.Counters.TotalMsgs()
+	}
+	b.ReportMetric(float64(crwMsgs), "crw-msgs")
+	b.ReportMetric(float64(floodMsgs), "flood-msgs")
+}
+
+// BenchmarkE10Ablation times the exhaustive counterexample search for the
+// commit-as-data ablation (n=3, t=1).
+func BenchmarkE10Ablation(b *testing.B) {
+	var found int
+	for i := 0; i < b.N; i++ {
+		factory := func(ch interface{ Choose(int) int }) check.Execution {
+			props := []sim.Value{10, 11, 12}
+			return check.Execution{
+				Procs:     core.NewSystem(props, core.Options{CommitAsData: true}),
+				Adv:       adversary.NewFromChooser(ch, 1, 3),
+				Cfg:       sim.Config{Model: sim.ModelClassic, Horizon: 5},
+				Proposals: props,
+			}
+		}
+		stats, err := check.Explore(factory,
+			func(ex check.Execution, res *sim.Result, engineErr error) error {
+				if engineErr != nil {
+					return engineErr
+				}
+				return check.Consensus(ex.Proposals, res)
+			}, check.ExploreOpts{Budget: 1_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		found = len(stats.Counterexamples)
+	}
+	b.ReportMetric(float64(found), "counterexamples")
+}
+
+// BenchmarkLockstepEngine times the goroutine runtime against the
+// deterministic engine's workload (n=32, f=4): the cost of real concurrency.
+func BenchmarkLockstepEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		props := make([]sim.Value, 32)
+		for j := range props {
+			props[j] = sim.Value(100 + j)
+		}
+		rt, err := lockstep.New(lockstep.Config{Model: sim.ModelExtended},
+			core.NewSystem(props, core.Options{}), adversary.CoordinatorKiller{F: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rt.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeterministicEngine is the sequential-engine twin of
+// BenchmarkLockstepEngine.
+func BenchmarkDeterministicEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run(b, agree.Config{N: 32, Faults: agree.CoordinatorCrashes(4)})
+	}
+}
+
+// BenchmarkSnapshot times one Chandy–Lamport snapshot over a busy 6-node
+// token bank on the asynchronous goroutine engine.
+func BenchmarkSnapshot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		collector := snapshot.NewCollector()
+		handlers := make([]async.Handler, 6)
+		for j := 1; j <= 6; j++ {
+			var plan []snapshot.PlannedTransfer
+			for k := 1; k <= 6; k++ {
+				if k != j {
+					plan = append(plan, snapshot.PlannedTransfer{
+						To: async.NodeID(k), Amount: 50, Hops: 4})
+				}
+			}
+			handlers[j-1] = snapshot.NewNode(
+				snapshot.NewBank(async.NodeID(j), 6, 1000, plan), collector, j == 1)
+		}
+		eng, err := async.NewEngine(handlers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+		if !collector.Complete(6) {
+			b.Fatal("snapshot incomplete")
+		}
+	}
+}
+
+// BenchmarkSimulationStride measures the raw cost of the micro-round
+// expansion as n grows.
+func BenchmarkSimulationStride(b *testing.B) {
+	var stride int
+	for i := 0; i < b.N; i++ {
+		rep := run(b, agree.Config{N: 24, SimulateOnClassic: true,
+			Faults: agree.NoFaults()})
+		stride = rep.Rounds / rep.MacroRounds
+	}
+	if stride != simulate.Stride(24) {
+		b.Fatalf("stride = %d, want %d", stride, simulate.Stride(24))
+	}
+}
+
+// BenchmarkDES times the raw discrete-event core (100k cascading events).
+func BenchmarkDES(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s des.Sim
+		count := 0
+		var tick func()
+		tick = func() {
+			count++
+			if count < 100_000 {
+				s.After(1, tick)
+			}
+		}
+		s.At(0, tick)
+		s.Run(des.Infinity)
+	}
+}
+
+// BenchmarkE11AverageCase times one batch of randomized average-case runs
+// (20 seeds, n=8).
+func BenchmarkE11AverageCase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for seed := int64(0); seed < 20; seed++ {
+			run(b, agree.Config{N: 8, Faults: agree.RandomFaults(seed, 0.01, 7)})
+		}
+	}
+}
+
+// BenchmarkE13Valency times the valency classification of a mixed
+// 3-process configuration (exhausts all continuations).
+func BenchmarkE13Valency(b *testing.B) {
+	var execs int
+	for i := 0; i < b.N; i++ {
+		factory := func(ch interface{ Choose(int) int }) check.Execution {
+			props := []sim.Value{0, 1, 1}
+			return check.Execution{
+				Procs:     core.NewSystem(props, core.Options{}),
+				Adv:       adversary.NewFromChooser(ch, 2, 3),
+				Cfg:       sim.Config{Model: sim.ModelExtended, Horizon: 5},
+				Proposals: props,
+			}
+		}
+		v, err := check.ValencySet(factory, check.ExploreOpts{Budget: 1_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !v.Bivalent() {
+			b.Fatal("expected bivalent")
+		}
+		execs = v.Executions
+	}
+	b.ReportMetric(float64(execs), "executions")
+}
+
+// BenchmarkE14LossyChannels times a CRW run under 15% random channel loss
+// (the unreliable-network ablation).
+func BenchmarkE14LossyChannels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		props := []sim.Value{10, 11, 12, 13}
+		procs := core.NewSystem(props, core.Options{})
+		eng, err := sim.NewEngine(sim.Config{Model: sim.ModelExtended, Horizon: 6,
+			Loss: func(sim.Message) bool { return rng.Float64() < 0.15 }},
+			procs, adversary.None{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil && !errors.Is(err, sim.ErrNoProgress) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSMRThroughput times a 50-slot replicated log over the paper's
+// algorithm (one round per commit, failure-free).
+func BenchmarkSMRThroughput(b *testing.B) {
+	var perCommit float64
+	for i := 0; i < b.N; i++ {
+		res, err := smr.Run(smr.Config{N: 8, Slots: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		perCommit = res.RoundsPerCommit()
+	}
+	b.ReportMetric(perCommit, "rounds/commit")
+}
+
+// BenchmarkWorstScheduleSearch times the exhaustive worst-schedule search
+// for n=4, t=2 (the constructive Theorem 4 witness).
+func BenchmarkWorstScheduleSearch(b *testing.B) {
+	factory := func(ch interface{ Choose(int) int }) check.Execution {
+		props := []sim.Value{10, 11, 12, 13}
+		return check.Execution{
+			Procs:     core.NewSystem(props, core.Options{}),
+			Adv:       adversary.NewFromChooser(ch, 2, 4),
+			Cfg:       sim.Config{Model: sim.ModelExtended, Horizon: 6},
+			Proposals: props,
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		w, err := check.FindWorstSchedule(factory, check.ExploreOpts{Budget: 1_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w.DecideRound != 3 {
+			b.Fatalf("worst decide round = %d, want 3", w.DecideRound)
+		}
+	}
+}
+
+// BenchmarkEngineScaling compares both engines across system sizes on the
+// worst-case f = n/4 workload: the deterministic kernel's cost is dominated
+// by message routing, the lockstep runtime's by goroutine barriers.
+func BenchmarkEngineScaling(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		n := n
+		b.Run(fmt.Sprintf("deterministic/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run(b, agree.Config{N: n, Faults: agree.CoordinatorCrashes(n / 4)})
+			}
+		})
+		b.Run(fmt.Sprintf("lockstep/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				props := make([]sim.Value, n)
+				for j := range props {
+					props[j] = sim.Value(100 + j)
+				}
+				rt, err := lockstep.New(lockstep.Config{Model: sim.ModelExtended},
+					core.NewSystem(props, core.Options{}),
+					adversary.CoordinatorKiller{F: n / 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rt.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExhaustiveN5T4 times the deepest default exhaustive configuration
+// (24,959 executions, Theorem 4 tightness at t+1 = 5).
+func BenchmarkExhaustiveN5T4(b *testing.B) {
+	var execs int
+	for i := 0; i < b.N; i++ {
+		factory := func(ch interface{ Choose(int) int }) check.Execution {
+			props := []sim.Value{10, 11, 12, 13, 14}
+			return check.Execution{
+				Procs:     core.NewSystem(props, core.Options{}),
+				Adv:       adversary.NewFromChooser(ch, 4, 5),
+				Cfg:       sim.Config{Model: sim.ModelExtended, Horizon: 7},
+				Proposals: props,
+			}
+		}
+		stats, err := check.Explore(factory,
+			func(ex check.Execution, res *sim.Result, engineErr error) error {
+				if engineErr != nil {
+					return engineErr
+				}
+				return check.Consensus(ex.Proposals, res)
+			}, check.ExploreOpts{Budget: 10_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(stats.Counterexamples) != 0 {
+			b.Fatal("unexpected violation")
+		}
+		execs = stats.Executions
+	}
+	b.ReportMetric(float64(execs), "executions")
+}

@@ -1,0 +1,57 @@
+// Command agreebench regenerates the experiment tables E1–E10, which map
+// one-to-one onto the quantitative claims of the paper (see DESIGN.md for
+// the experiment index and EXPERIMENTS.md for paper-vs-measured records).
+//
+// Usage:
+//
+//	agreebench            # run every experiment
+//	agreebench -e E3      # run one experiment
+//	agreebench -list      # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("e", "", "experiment id to run (E1..E10); empty runs all")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, t := range experiments.All() {
+			fmt.Printf("%-4s %s\n", t.ID, t.Title)
+		}
+		return
+	}
+	if *exp != "" {
+		t := experiments.ByID(*exp)
+		if t == nil {
+			fmt.Fprintf(os.Stderr, "agreebench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		exitOnFail([]*experiments.Table{t})
+		return
+	}
+	tables := experiments.All()
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+	exitOnFail(tables)
+}
+
+// exitOnFail exits non-zero if any experiment's verdict is not PASS, so the
+// command doubles as a reproduction gate in CI.
+func exitOnFail(tables []*experiments.Table) {
+	for _, t := range tables {
+		if len(t.Verdict) < 4 || t.Verdict[:4] != "PASS" {
+			fmt.Fprintf(os.Stderr, "agreebench: %s failed: %s\n", t.ID, t.Verdict)
+			os.Exit(1)
+		}
+	}
+}

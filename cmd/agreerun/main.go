@@ -1,0 +1,100 @@
+// Command agreerun executes a single consensus instance and prints its
+// transcript and verdict.
+//
+// Examples:
+//
+//	agreerun -n 6                           # failure-free CRW: one round
+//	agreerun -n 6 -f 2                      # kill coordinators p1, p2
+//	agreerun -n 6 -f 2 -deliver -prefix 1   # dying coordinators deliver data + 1 commit
+//	agreerun -n 6 -protocol earlystop -f 1  # classic baseline
+//	agreerun -n 6 -random -seed 7 -prob 0.3 # randomized fault injection
+//	agreerun -n 6 -engine lockstep          # goroutine runtime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/agree"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 5, "number of processes")
+		tt       = flag.Int("t", 0, "resilience bound for classic baselines (default n-1)")
+		protocol = flag.String("protocol", "crw", "protocol: crw, earlystop, floodset")
+		engine   = flag.String("engine", "deterministic", "engine: deterministic, lockstep")
+		f        = flag.Int("f", 0, "crash the coordinators of the first f rounds")
+		deliver  = flag.Bool("deliver", false, "dying coordinators complete their data step")
+		prefix   = flag.Int("prefix", 0, "control prefix delivered by dying coordinators (-1 = all)")
+		random   = flag.Bool("random", false, "use the randomized adversary instead of the coordinator killer")
+		seed     = flag.Int64("seed", 1, "seed for -random")
+		prob     = flag.Float64("prob", 0.2, "per-round crash probability for -random")
+		simulate = flag.Bool("simulate", false, "run CRW through the Section 2.2 classic-model simulation")
+		bits     = flag.Int("bits", 64, "proposal bit width b")
+		quiet    = flag.Bool("quiet", false, "suppress the transcript")
+		diag     = flag.Bool("diagram", false, "render a space-time diagram instead of the raw transcript")
+	)
+	flag.Parse()
+
+	faults := agree.NoFaults()
+	switch {
+	case *random:
+		faults = agree.RandomFaults(*seed, *prob, *n-1)
+	case *f > 0 && *deliver:
+		faults = agree.CoordinatorCrashesDelivering(*f, *prefix)
+	case *f > 0:
+		faults = agree.CoordinatorCrashes(*f)
+	}
+
+	cfg := agree.Config{
+		N:                 *n,
+		T:                 *tt,
+		Protocol:          agree.Protocol(*protocol),
+		Engine:            agree.EngineKind(*engine),
+		Bits:              *bits,
+		Faults:            faults,
+		SimulateOnClassic: *simulate,
+		Trace:             !*quiet && agree.EngineKind(*engine) == agree.EngineDeterministic,
+		Diagram:           *diag && agree.EngineKind(*engine) == agree.EngineDeterministic,
+	}
+	rep, err := agree.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agreerun:", err)
+		os.Exit(1)
+	}
+	switch {
+	case rep.Diagram != "":
+		fmt.Print(rep.Diagram)
+		fmt.Println()
+	case rep.Transcript != "" && !*quiet:
+		fmt.Print(rep.Transcript)
+		fmt.Println()
+	}
+	fmt.Printf("protocol    %s (%s engine)\n", cfg.Protocol, cfg.Engine)
+	fmt.Printf("processes   n=%d\n", *n)
+	fmt.Printf("faults      f=%d %v\n", rep.Faults(), keys(rep.Crashed))
+	fmt.Printf("rounds      %d (last decision at round %d)\n", rep.MacroRounds, rep.MaxDecideRound())
+	fmt.Printf("decisions   %v\n", rep.Decisions)
+	fmt.Printf("traffic     %s\n", rep.Counters.String())
+	if rep.ConsensusErr != nil {
+		fmt.Printf("VERDICT     VIOLATION: %v\n", rep.ConsensusErr)
+		os.Exit(2)
+	}
+	fmt.Println("VERDICT     uniform consensus holds")
+}
+
+// keys returns the sorted crash set for display.
+func keys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Command agreexplore exhaustively model-checks the paper's algorithm (or
+// one of its ablations) for a small system: it enumerates every crash
+// schedule and delivery truncation the extended model allows, validates
+// uniform consensus and the f+1 decision bound on each execution, and prints
+// either the exploration statistics or a minimal counterexample script.
+//
+// Examples:
+//
+//	agreexplore -n 4 -t 2                 # faithful algorithm: expect 0 violations
+//	agreexplore -n 4 -t 1 -order asc      # ablation: f+1 bound violated
+//	agreexplore -n 3 -t 1 -commit-as-data # ablation: uniform agreement violated
+//	agreexplore -n 4 -t 2 -worst          # find + replay the slowest execution
+//	agreexplore -n 3 -t 1 -commit-as-data -replay 1,0,0,0,1   # trace a counterexample
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		n            = flag.Int("n", 4, "number of processes (keep small: the space is exhaustive)")
+		tt           = flag.Int("t", 2, "crash budget")
+		order        = flag.String("order", "desc", "commit order: desc (faithful) or asc (ablation)")
+		commitAsData = flag.Bool("commit-as-data", false, "fold the commit into the data step (ablation)")
+		budget       = flag.Int("budget", 50_000_000, "maximum executions to explore")
+		maxCE        = flag.Int("max-counterexamples", 3, "stop after this many violations")
+		worst        = flag.Bool("worst", false, "search for the slowest execution and replay it with a trace")
+		replay       = flag.String("replay", "", "comma-separated choice script to replay with a trace")
+	)
+	flag.Parse()
+
+	opts := core.Options{CommitAsData: *commitAsData}
+	switch *order {
+	case "desc":
+	case "asc":
+		opts.Order = core.OrderAscending
+	default:
+		fmt.Fprintf(os.Stderr, "agreexplore: unknown order %q\n", *order)
+		os.Exit(1)
+	}
+
+	factory := func(ch interface{ Choose(int) int }) check.Execution {
+		props := make([]sim.Value, *n)
+		for i := range props {
+			props[i] = sim.Value(10 + i)
+		}
+		model := sim.ModelExtended
+		if opts.CommitAsData {
+			model = sim.ModelClassic
+		}
+		return check.Execution{
+			Procs:     core.NewSystem(props, opts),
+			Adv:       adversary.NewFromChooser(ch, *tt, sim.Round(*n)),
+			Cfg:       sim.Config{Model: model, Horizon: sim.Round(*n + 2)},
+			Proposals: props,
+		}
+	}
+	if *replay != "" {
+		script, err := parseScript(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "agreexplore:", err)
+			os.Exit(1)
+		}
+		replayScript(factory, script)
+		return
+	}
+	if *worst {
+		w, err := check.FindWorstSchedule(factory, check.ExploreOpts{Budget: *budget})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "agreexplore:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("worst execution over %d explored: decides at round %d with %d fault(s)\n",
+			w.Executions, w.DecideRound, w.Faults)
+		fmt.Printf("script %v — replaying with trace:\n\n", w.Script)
+		replayScript(factory, w.Script)
+		return
+	}
+
+	validator := func(ex check.Execution, res *sim.Result, engineErr error) error {
+		if engineErr != nil {
+			return engineErr
+		}
+		if err := check.Consensus(ex.Proposals, res); err != nil {
+			return err
+		}
+		return check.RoundBound(res, check.BoundFPlus1)
+	}
+	stats, err := check.Explore(factory, validator,
+		check.ExploreOpts{Budget: *budget, MaxCounterexamples: *maxCE})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agreexplore:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("explored      %d executions (n=%d, t=%d, order=%s, commit-as-data=%t)\n",
+		stats.Executions, *n, *tt, *order, *commitAsData)
+	fmt.Printf("max faults    %d\n", stats.MaxFaults)
+	fmt.Printf("max decide    round %d (bound t+1 = %d)\n", stats.MaxDecideRound, *tt+1)
+	if len(stats.Counterexamples) == 0 {
+		fmt.Println("violations    none — every execution satisfies uniform consensus and the f+1 bound")
+		return
+	}
+	fmt.Printf("violations    %d\n", len(stats.Counterexamples))
+	for i, ce := range stats.Counterexamples {
+		fmt.Printf("  [%d] %v\n", i+1, ce.Err)
+		fmt.Printf("      script %v (re-run with -replay %s for a full trace)\n",
+			ce.Script, scriptString(ce.Script))
+		fmt.Printf("      decisions %v, crashed %v\n", ce.Result.Decisions, ce.Result.Crashed)
+	}
+	os.Exit(2)
+}
+
+// parseScript parses "1,0,2" into a choice script.
+func parseScript(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad script element %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// scriptString renders a script as a -replay argument.
+func scriptString(script []int) string {
+	parts := make([]string, len(script))
+	for i, v := range script {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// replayScript re-executes one scripted run with a full transcript and
+// verdict.
+func replayScript(factory check.RunFactory, script []int) {
+	log := trace.New()
+	ex := factory(&check.Replayer{Values: script})
+	cfg := ex.Cfg
+	cfg.Trace = log
+	eng, err := sim.NewEngine(cfg, ex.Procs, ex.Adv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agreexplore:", err)
+		os.Exit(1)
+	}
+	res, runErr := eng.Run()
+	fmt.Print(log.String())
+	fmt.Println()
+	fmt.Printf("decisions %v (rounds %v), crashed %v\n", res.Decisions, res.DecideRound, res.Crashed)
+	if runErr != nil {
+		fmt.Printf("engine error: %v\n", runErr)
+	}
+	if err := check.Consensus(ex.Proposals, res); err != nil {
+		fmt.Printf("VERDICT: %v\n", err)
+		return
+	}
+	if err := check.RoundBound(res, check.BoundFPlus1); err != nil {
+		fmt.Printf("VERDICT: consensus holds but %v\n", err)
+		return
+	}
+	fmt.Println("VERDICT: uniform consensus and the f+1 bound hold")
+}

@@ -1,0 +1,87 @@
+// bridge demonstrates Section 4 of the paper: the synchronous CRW algorithm
+// and the asynchronous ◇S-based MR99 algorithm are "two implementations in
+// different settings of the very same basic principle". It runs both on the
+// same proposals and prints the per-round communication structure side by
+// side: the coordinator's data broadcast is common to both, and the paper's
+// pipelined COMMIT replaces MR99's entire n(n-1)-message second step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/agree"
+	"repro/internal/consensus/mr99"
+	"repro/internal/sim"
+)
+
+func main() {
+	const n = 8
+	proposals := make([]sim.Value, n)
+	raw := make([]int64, n)
+	for i := range proposals {
+		proposals[i] = sim.Value(100 + i)
+		raw[i] = int64(100 + i)
+	}
+
+	// Synchronous side: the paper's algorithm in the extended model.
+	crw, err := agree.Run(agree.Config{N: n, Proposals: raw})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Asynchronous side: MR99 with an immediately accurate ◇S detector.
+	mr, err := mr99.Run(mr99.Config{N: n, T: (n - 1) / 2}, proposals, &mr99.GSTOracle{GST: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("the bridge: one consensus principle, two timing models (n =", n, ")")
+	fmt.Println()
+	fmt.Println("                         CRW (extended sync)    MR99 (async + ◇S)")
+	fmt.Printf("coordinator broadcast    %-22d %d\n", crw.Counters.DataMsgs, mr.Trace[0].Step1Msgs)
+	fmt.Printf("\"value locked\" signal    %d (COMMIT, pipelined)  %d (all-to-all AUX step)\n",
+		crw.Counters.CtrlMsgs, mr.Trace[0].Step2Msgs)
+	fmt.Printf("total messages           %-22d %d\n",
+		crw.Counters.TotalMsgs(), mr.Trace[0].Step1Msgs+mr.Trace[0].Step2Msgs)
+	fmt.Printf("rounds to decide         %-22d %d\n", crw.MaxDecideRound(), maxRound(mr))
+	fmt.Printf("decided value            %-22d %d\n", crw.Decisions[1], int64(anyDecision(mr)))
+	fmt.Println()
+	fmt.Println("Reading: in both algorithms the round coordinator broadcasts its estimate")
+	fmt.Println("and the processes need evidence the value is locked before deciding. The")
+	fmt.Println("extended model's synchrony lets a single pipelined one-bit COMMIT carry")
+	fmt.Println("that evidence; asynchrony forces MR99 to reconstruct it with a quorum of")
+	fmt.Println("n-t AUX messages from a full second communication step.")
+
+	// The fault case: crash the first coordinator in both worlds.
+	crwF, err := agree.Run(agree.Config{N: n, Proposals: raw, Faults: agree.CoordinatorCrashes(1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mrF, err := mr99.Run(mr99.Config{N: n, T: (n - 1) / 2}, proposals,
+		&mr99.GSTOracle{GST: 1, Crashes: map[sim.ProcID]int{1: 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("with p1 crashed: CRW decides in round %d (f+1), MR99 in round %d —\n",
+		crwF.MaxDecideRound(), maxRound(mrF))
+	fmt.Println("the rotating coordinator recovers in one extra round in both settings.")
+}
+
+func maxRound(r *mr99.Result) int {
+	max := 0
+	for _, rd := range r.DecideRound {
+		if rd > max {
+			max = rd
+		}
+	}
+	return max
+}
+
+func anyDecision(r *mr99.Result) sim.Value {
+	for _, v := range r.Decisions {
+		return v
+	}
+	return sim.NoValue
+}

@@ -1,0 +1,54 @@
+// faultsweep is a fault-injection campaign: it sweeps the number and style
+// of crashes across all three protocols, validating uniform consensus on
+// every run and charting decision rounds and traffic. This is the workload
+// a downstream user would run to pick a protocol for a crash-prone cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/agree"
+)
+
+func main() {
+	const n = 12
+	t := n - 1
+
+	fmt.Printf("fault sweep on n=%d processes (t=%d)\n\n", n, t)
+	fmt.Printf("%-11s %-24s %-7s %-7s %-9s %-8s\n",
+		"protocol", "fault scenario", "f", "rounds", "messages", "verdict")
+
+	scenarios := []struct {
+		name   string
+		faults agree.FaultSpec
+	}{
+		{"none", agree.NoFaults()},
+		{"kill 1 coordinator", agree.CoordinatorCrashes(1)},
+		{"kill 4 coordinators", agree.CoordinatorCrashes(4)},
+		{"kill 4, deliver data", agree.CoordinatorCrashesDelivering(4, 0)},
+		{"kill 4, deliver all", agree.CoordinatorCrashesDelivering(4, agree.CtrlAll)},
+		{"random p=0.2 seed=1", agree.RandomFaults(1, 0.2, t)},
+		{"random p=0.4 seed=9", agree.RandomFaults(9, 0.4, t)},
+	}
+
+	for _, p := range []agree.Protocol{agree.ProtocolCRW, agree.ProtocolEarlyStop, agree.ProtocolFloodSet} {
+		for _, sc := range scenarios {
+			rep, err := agree.Run(agree.Config{N: n, T: t, Protocol: p, Faults: sc.faults})
+			if err != nil {
+				log.Fatalf("%s/%s: %v", p, sc.name, err)
+			}
+			verdict := "ok"
+			if rep.ConsensusErr != nil {
+				verdict = "VIOLATION"
+			}
+			fmt.Printf("%-11s %-24s %-7d %-7d %-9d %-8s\n",
+				p, sc.name, rep.Faults(), rep.MaxDecideRound(), rep.Counters.TotalMsgs(), verdict)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading: CRW tracks f+1 exactly and transmits O(n) messages per round;")
+	fmt.Println("the classic baselines pay one extra round (early stopping) or always t+1")
+	fmt.Println("rounds and Θ(n²) messages per round (flooding).")
+}

@@ -1,0 +1,59 @@
+// lancluster answers the deployment question of Section 2.2: on a LAN with
+// reliable channels, when does the extended model (round duration D+δ) beat
+// the classic model (round duration D)?
+//
+// The example prices measured executions of both optimal algorithms — the
+// paper's f+1-round protocol and the classic min(f+2, t+1) early-stopping
+// baseline — across a sweep of δ/D ratios and fault counts, and prints the
+// crossover chart. The rule of Section 2.2 (extended wins iff δ < D/(f+1))
+// emerges from the measurements.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/agree"
+	"repro/internal/timing"
+)
+
+func main() {
+	const n, t = 10, 8
+	const d = 1.0 // one classic round = 1 time unit
+
+	fmt.Println("LAN cluster sizing: extended vs classic synchronous consensus")
+	fmt.Printf("n=%d processes, t=%d tolerated crashes, D=%.1f\n\n", n, t, d)
+	fmt.Printf("%-4s %-6s %-10s %-10s %-9s %-22s\n",
+		"f", "δ/D", "ext time", "cl time", "winner", "rule δ/D < 1/(f+1)")
+
+	for _, f := range []int{0, 1, 2, 4} {
+		for _, ratio := range []float64{0.02, 0.1, 0.25, 0.5, 1.0} {
+			cost := timing.Cost{D: d, Delta: d * ratio}
+
+			ext, err := agree.Run(agree.Config{N: n, Faults: agree.CoordinatorCrashes(f)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cl, err := agree.Run(agree.Config{N: n, T: t, Protocol: agree.ProtocolEarlyStop,
+				Faults: agree.CoordinatorCrashes(f)})
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			extTime := cost.ExtendedTime(ext.MaxDecideRound())
+			clTime := cost.ClassicTime(cl.MaxDecideRound())
+			winner := "classic"
+			if extTime < clTime {
+				winner = "extended"
+			}
+			rule := fmt.Sprintf("%.3f < %.3f = %t", ratio, timing.CrossoverRatio(f, t),
+				ratio < timing.CrossoverRatio(f, t))
+			fmt.Printf("%-4d %-6.2f %-10.2f %-10.2f %-9s %-22s\n",
+				f, ratio, extTime, clTime, winner, rule)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading: with commodity-LAN overheads (δ/D ~ a few percent), the")
+	fmt.Println("extended model wins for every realistic fault count — the paper's case")
+	fmt.Println("for adding pipelined synchronization messages to reliable local networks.")
+}

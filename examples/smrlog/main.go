@@ -1,0 +1,65 @@
+// smrlog runs the application the paper's introduction motivates:
+// fault-tolerant state machine replication. It commits a replicated command
+// log slot by slot — each slot one uniform-consensus instance — over the
+// paper's extended-model algorithm and over the classic early-stopping
+// baseline, and compares throughput with and without replica crashes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/sim"
+	"repro/internal/smr"
+)
+
+func main() {
+	const n, slots = 5, 40
+
+	fmt.Printf("replicated log: %d replicas, %d slots\n\n", n, slots)
+	fmt.Printf("%-16s %-22s %-7s %-13s %-9s\n",
+		"protocol", "crash schedule", "rounds", "rounds/commit", "messages")
+
+	type scenario struct {
+		name    string
+		crashes map[sim.ProcID]int
+	}
+	scenarios := []scenario{
+		{"none", nil},
+		{"p1 dies at slot 10", map[sim.ProcID]int{1: 10}},
+		{"p1@5, p2@15, p3@25", map[sim.ProcID]int{1: 5, 2: 15, 3: 25}},
+	}
+
+	type variant struct {
+		label    string
+		protocol smr.Protocol
+		rotate   bool
+	}
+	variants := []variant{
+		{"crw", smr.ProtocolCRW, false},
+		{"crw+rotation", smr.ProtocolCRW, true},
+		{"earlystop", smr.ProtocolEarlyStop, false},
+	}
+	for _, v := range variants {
+		for _, sc := range scenarios {
+			res, err := smr.Run(smr.Config{N: n, Slots: slots, Protocol: v.protocol,
+				RotateLeader: v.rotate, CrashDuringSlot: sc.crashes})
+			if err != nil {
+				log.Fatalf("%s/%s: %v", v.label, sc.name, err)
+			}
+			if err := smr.Validate(res); err != nil {
+				log.Fatalf("%s/%s: log divergence: %v", v.label, sc.name, err)
+			}
+			fmt.Printf("%-16s %-22s %-7d %-13.2f %-9d\n",
+				v.label, sc.name, res.TotalRounds, res.RoundsPerCommit(), res.Counters.TotalMsgs())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading: over the extended model a healthy log commits one slot per")
+	fmt.Println("synchronous round — the classic model needs two. After a leader dies the")
+	fmt.Println("static p1-first rotation of Figure 1 wastes one round per slot; the")
+	fmt.Println("leader-rotation variant (a pure id renaming, so Theorem 1 carries over)")
+	fmt.Println("restores one-round commits immediately. Survivors' logs stay")
+	fmt.Println("byte-identical through every crash: uniform agreement, slot after slot.")
+}

@@ -1,0 +1,267 @@
+// Package adversary provides crash adversaries for the synchronous engines.
+//
+// An adversary decides, for every process and round, whether the process
+// crashes during its send phase and — if it does — which of its data messages
+// escape (an arbitrary subset, per the model) and how long a prefix of its
+// ordered control sequence escapes.
+//
+// The package offers:
+//
+//   - None: the failure-free adversary.
+//   - Script: explicit per-process crash plans (used to pin down the
+//     worst-case scenarios from the paper's proofs).
+//   - CoordinatorKiller: crashes the coordinator of each of the first F
+//     rounds, the schedule that forces the paper's algorithm to its f+1
+//     round bound.
+//   - Random: seeded randomized fault injection.
+//   - FromChooser: a generic adversary driven by a Chooser, the hook used by
+//     the exhaustive explorer in internal/check to enumerate every schedule.
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// CtrlAll requests delivery of the full control sequence in a crash plan.
+const CtrlAll = -1
+
+// None is the failure-free adversary: no process ever crashes.
+type None struct{}
+
+// Crashes always reports no crash.
+func (None) Crashes(sim.ProcID, sim.Round, sim.SendPlan) (bool, sim.CrashOutcome) {
+	return false, sim.CrashOutcome{}
+}
+
+// CrashPlan describes one scripted crash.
+type CrashPlan struct {
+	// Round is the round in which the process crashes (during its send
+	// phase).
+	Round sim.Round
+	// DeliverAllData delivers every data message of the plan when true and
+	// none when false, unless DataMask overrides it.
+	DeliverAllData bool
+	// DataMask, if non-nil, selects exactly which data messages escape; it is
+	// matched positionally against the plan (missing positions are false).
+	DataMask []bool
+	// CtrlPrefix is the number of control messages (a prefix of the ordered
+	// sequence) that escape; CtrlAll delivers all of them. Values beyond the
+	// sequence length are clamped.
+	CtrlPrefix int
+}
+
+// Script crashes processes according to explicit plans. Processes without a
+// plan never crash.
+type Script struct {
+	Plans map[sim.ProcID]CrashPlan
+}
+
+// NewScript builds a Script adversary from plans keyed by process.
+func NewScript(plans map[sim.ProcID]CrashPlan) *Script {
+	return &Script{Plans: plans}
+}
+
+// Crashes implements sim.Adversary.
+func (s *Script) Crashes(p sim.ProcID, r sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome) {
+	cp, ok := s.Plans[p]
+	if !ok || cp.Round != r {
+		return false, sim.CrashOutcome{}
+	}
+	return true, cp.outcome(plan)
+}
+
+// outcome materializes the plan's truncation against a concrete send plan.
+func (cp CrashPlan) outcome(plan sim.SendPlan) sim.CrashOutcome {
+	mask := make([]bool, len(plan.Data))
+	switch {
+	case cp.DataMask != nil:
+		copy(mask, cp.DataMask)
+	case cp.DeliverAllData:
+		for i := range mask {
+			mask[i] = true
+		}
+	}
+	prefix := cp.CtrlPrefix
+	if prefix == CtrlAll || prefix > len(plan.Control) {
+		prefix = len(plan.Control)
+	}
+	if prefix < 0 {
+		prefix = 0
+	}
+	return sim.CrashOutcome{DataDelivered: mask, CtrlPrefix: prefix}
+}
+
+// CoordinatorKiller crashes the coordinator p_r of round r, for every
+// r = 1..F. With DeliverAllData=false and CtrlPrefix=0 it is the schedule
+// that forces the paper's algorithm to run for exactly F+1 rounds (the
+// matching execution for the lower bound of Section 5).
+type CoordinatorKiller struct {
+	// F is the number of coordinators to crash (the paper's f).
+	F int
+	// DeliverAllData controls whether the dying coordinator's data messages
+	// escape.
+	DeliverAllData bool
+	// CtrlPrefix is the escaped control prefix length (CtrlAll for all).
+	CtrlPrefix int
+}
+
+// Crashes implements sim.Adversary: p crashes in round r iff p == p_r and
+// r <= F.
+func (k CoordinatorKiller) Crashes(p sim.ProcID, r sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome) {
+	if int(r) > k.F || sim.ProcID(r) != p {
+		return false, sim.CrashOutcome{}
+	}
+	cp := CrashPlan{Round: r, DeliverAllData: k.DeliverAllData, CtrlPrefix: k.CtrlPrefix}
+	return true, cp.outcome(plan)
+}
+
+// Random injects crashes at random: each alive process crashes in each round
+// with probability CrashProb, as long as fewer than MaxCrashes processes have
+// crashed. The escaped data subset and control prefix are uniform.
+//
+// Random is deterministic for a fixed seed, so randomized experiments are
+// reproducible.
+type Random struct {
+	rng        *rand.Rand
+	CrashProb  float64
+	MaxCrashes int
+	crashes    int
+}
+
+// NewRandom builds a seeded random adversary that crashes at most maxCrashes
+// processes, each alive process crashing with probability p per round.
+func NewRandom(seed int64, p float64, maxCrashes int) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed)), CrashProb: p, MaxCrashes: maxCrashes}
+}
+
+// Crashes implements sim.Adversary. The crash point is drawn first: either
+// during the data step (random subset escapes, no control message) or during
+// the control step (all data escaped, random prefix) — never a mix, since the
+// two steps are sequential and a process crashes at a single point in time.
+func (a *Random) Crashes(_ sim.ProcID, _ sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome) {
+	if a.crashes >= a.MaxCrashes || a.rng.Float64() >= a.CrashProb {
+		return false, sim.CrashOutcome{}
+	}
+	a.crashes++
+	mask := make([]bool, len(plan.Data))
+	if len(plan.Control) > 0 && a.rng.Intn(2) == 1 {
+		// Crash during the control step: the data step completed.
+		for i := range mask {
+			mask[i] = true
+		}
+		return true, sim.CrashOutcome{DataDelivered: mask, CtrlPrefix: a.rng.Intn(len(plan.Control) + 1)}
+	}
+	// Crash during the data step: arbitrary subset, no control messages.
+	for i := range mask {
+		mask[i] = a.rng.Intn(2) == 1
+	}
+	return true, sim.CrashOutcome{DataDelivered: mask, CtrlPrefix: 0}
+}
+
+// Crashed returns how many processes the adversary has crashed so far.
+func (a *Random) Crashed() int { return a.crashes }
+
+// Staged composes two adversaries around a round boundary: First controls
+// rounds 1..Until, Rest controls every later round. It is used by the
+// valency analysis (internal/check) to pin down the behaviour of a prefix of
+// the execution — e.g. "round 1 is crash-free" — and quantify over all
+// continuations.
+type Staged struct {
+	Until sim.Round
+	First sim.Adversary
+	Rest  sim.Adversary
+}
+
+// Crashes implements sim.Adversary.
+func (s Staged) Crashes(p sim.ProcID, r sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome) {
+	if r <= s.Until {
+		return s.First.Crashes(p, r, plan)
+	}
+	return s.Rest.Crashes(p, r, plan)
+}
+
+// Chooser resolves nondeterministic choices. Choose(n) returns a value in
+// [0, n). A backtracking Chooser turns the engine into an exhaustive model
+// checker (see internal/check); a seeded Chooser gives randomized testing.
+type Chooser interface {
+	Choose(n int) int
+}
+
+// RandChooser is a Chooser drawing uniformly from a seeded source.
+type RandChooser struct {
+	rng *rand.Rand
+}
+
+// NewRandChooser returns a seeded random chooser.
+func NewRandChooser(seed int64) *RandChooser {
+	return &RandChooser{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Choose returns a uniform value in [0, n).
+func (c *RandChooser) Choose(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return c.rng.Intn(n)
+}
+
+// FromChooser is a generic adversary whose every decision is delegated to a
+// Chooser. Each round, for each alive process (while the crash budget T is
+// not exhausted), it asks the chooser whether to crash it; on a crash it asks
+// for the escaped data subset (one binary choice per message) and the control
+// prefix length.
+//
+// MaxCrashRound bounds the rounds in which crashes may occur, which keeps the
+// exhaustive search space finite; crashes after the last interesting round
+// cannot affect decisions that already happened.
+type FromChooser struct {
+	C Chooser
+	// T is the crash budget (the model's resilience bound t).
+	T int
+	// MaxCrashRound is the last round a crash may occur in (0 = no limit).
+	MaxCrashRound sim.Round
+
+	crashes int
+}
+
+// NewFromChooser builds a chooser-driven adversary with crash budget t and
+// crash horizon maxRound.
+func NewFromChooser(c Chooser, t int, maxRound sim.Round) *FromChooser {
+	return &FromChooser{C: c, T: t, MaxCrashRound: maxRound}
+}
+
+// Crashes implements sim.Adversary. The choice tree per crash is: crash
+// point (data step vs control step, when a control sequence exists), then —
+// for a data-step crash — one binary choice per data message, or — for a
+// control-step crash — the escaped prefix length (with full data delivery).
+// This enumerates exactly the legal outcomes of the model, no more.
+func (a *FromChooser) Crashes(_ sim.ProcID, r sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome) {
+	if a.crashes >= a.T {
+		return false, sim.CrashOutcome{}
+	}
+	if a.MaxCrashRound > 0 && r > a.MaxCrashRound {
+		return false, sim.CrashOutcome{}
+	}
+	if a.C.Choose(2) == 0 {
+		return false, sim.CrashOutcome{}
+	}
+	a.crashes++
+	mask := make([]bool, len(plan.Data))
+	if len(plan.Control) > 0 && a.C.Choose(2) == 1 {
+		// Crash during the control step: all data escaped, prefix chosen.
+		for i := range mask {
+			mask[i] = true
+		}
+		return true, sim.CrashOutcome{DataDelivered: mask, CtrlPrefix: a.C.Choose(len(plan.Control) + 1)}
+	}
+	// Crash during the data step: arbitrary subset, no control messages.
+	for i := range mask {
+		mask[i] = a.C.Choose(2) == 1
+	}
+	return true, sim.CrashOutcome{DataDelivered: mask, CtrlPrefix: 0}
+}
+
+// Crashed returns how many processes have been crashed so far.
+func (a *FromChooser) Crashed() int { return a.crashes }

@@ -1,0 +1,202 @@
+// Package async is a goroutine-based asynchronous message-passing engine
+// with reliable FIFO channels and no timing assumptions — the fault-free
+// asynchronous substrate used by the Chandy–Lamport snapshot algorithm
+// (internal/snapshot), the paper's canonical related-work example of
+// synchronization messages (reference [6]).
+//
+// Every node runs in its own goroutine with an unbounded FIFO mailbox.
+// Messages from one sender to one destination are delivered in send order
+// (per-channel FIFO, the assumption Chandy–Lamport requires); messages from
+// different senders interleave arbitrarily, depending on the Go scheduler —
+// genuine asynchrony.
+//
+// A run starts by calling every node's Init and ends at quiescence: when
+// every handler has returned and no message is in flight. In-flight
+// accounting uses a WaitGroup incremented at send time and decremented after
+// the receiving handler returns, so the count can only reach zero when the
+// system is globally idle.
+package async
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// NodeID identifies a node (1-based, like sim.ProcID).
+type NodeID int
+
+// Message is a delivered message.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+}
+
+// Handler is the behaviour of one node. The engine calls Init once, then
+// OnMessage serially (one goroutine per node) for every delivered message.
+type Handler interface {
+	// Init runs when the system starts; use it to send initial messages.
+	Init(ctx *Context)
+	// OnMessage handles one delivered message.
+	OnMessage(ctx *Context, m Message)
+}
+
+// Context gives a handler access to the engine. It is only valid during the
+// handler invocation it was passed to (Init or OnMessage).
+type Context struct {
+	engine *Engine
+	id     NodeID
+}
+
+// ID returns the node this context belongs to.
+func (c *Context) ID() NodeID { return c.id }
+
+// N returns the number of nodes in the system.
+func (c *Context) N() int { return len(c.engine.nodes) }
+
+// Send delivers payload to the node `to` over the FIFO channel (c.ID() → to).
+// Sending to self or to a nonexistent node panics: both indicate protocol
+// bugs in a fault-free substrate.
+func (c *Context) Send(to NodeID, payload any) {
+	if to == c.id {
+		panic(fmt.Sprintf("async: node %d sends to itself", c.id))
+	}
+	c.engine.send(Message{From: c.id, To: to, Payload: payload})
+}
+
+// Broadcast sends payload to every other node, in id order.
+func (c *Context) Broadcast(payload any) {
+	for i := 1; i <= c.N(); i++ {
+		if NodeID(i) != c.id {
+			c.Send(NodeID(i), payload)
+		}
+	}
+}
+
+// mailbox is an unbounded FIFO queue with blocking receive.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues a message.
+func (m *mailbox) put(msg Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Signal()
+}
+
+// get dequeues the next message, blocking until one arrives or the mailbox
+// closes (ok=false).
+func (m *mailbox) get() (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return Message{}, false
+	}
+	msg := m.queue[0]
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+// close wakes all waiters and drops future messages.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// node pairs a handler with its mailbox.
+type node struct {
+	id      NodeID
+	handler Handler
+	mbox    *mailbox
+}
+
+// Engine executes a set of nodes until quiescence.
+type Engine struct {
+	nodes    []*node
+	inflight sync.WaitGroup
+	msgCount sync.Mutex
+	sent     int
+}
+
+// NewEngine builds an engine over handlers; handlers[i] becomes node i+1.
+func NewEngine(handlers []Handler) (*Engine, error) {
+	if len(handlers) == 0 {
+		return nil, errors.New("async: no nodes")
+	}
+	e := &Engine{}
+	for i, h := range handlers {
+		if h == nil {
+			return nil, fmt.Errorf("async: nil handler at index %d", i)
+		}
+		e.nodes = append(e.nodes, &node{id: NodeID(i + 1), handler: h, mbox: newMailbox()})
+	}
+	return e, nil
+}
+
+// send queues a message for delivery and accounts it as in-flight.
+func (e *Engine) send(m Message) {
+	if m.To < 1 || int(m.To) > len(e.nodes) {
+		panic(fmt.Sprintf("async: send to nonexistent node %d", m.To))
+	}
+	e.inflight.Add(1)
+	e.msgCount.Lock()
+	e.sent++
+	e.msgCount.Unlock()
+	e.nodes[m.To-1].mbox.put(m)
+}
+
+// MessagesSent returns the total number of messages sent during the run.
+func (e *Engine) MessagesSent() int {
+	e.msgCount.Lock()
+	defer e.msgCount.Unlock()
+	return e.sent
+}
+
+// Run executes all nodes until quiescence: every Init and OnMessage handler
+// has returned and no message remains undelivered. It then stops the node
+// goroutines and returns.
+func (e *Engine) Run() {
+	// One in-flight token per Init keeps the count positive until every
+	// initial burst of sends is accounted.
+	e.inflight.Add(len(e.nodes))
+	for _, n := range e.nodes {
+		n := n
+		go func() {
+			ctx := &Context{engine: e, id: n.id}
+			n.handler.Init(ctx)
+			e.inflight.Done()
+			for {
+				m, ok := n.mbox.get()
+				if !ok {
+					return
+				}
+				n.handler.OnMessage(ctx, m)
+				e.inflight.Done()
+			}
+		}()
+	}
+	e.inflight.Wait()
+	for _, n := range e.nodes {
+		n.mbox.close()
+	}
+}

@@ -1,0 +1,150 @@
+package async_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/async"
+)
+
+// pingPong bounces a counter back and forth until it reaches zero.
+type pingPong struct {
+	mu      sync.Mutex
+	starts  bool
+	peer    async.NodeID
+	initial int
+	got     []int
+}
+
+func (p *pingPong) Init(ctx *async.Context) {
+	if p.starts {
+		ctx.Send(p.peer, p.initial)
+	}
+}
+
+func (p *pingPong) OnMessage(ctx *async.Context, m async.Message) {
+	v := m.Payload.(int)
+	p.mu.Lock()
+	p.got = append(p.got, v)
+	p.mu.Unlock()
+	if v > 0 {
+		ctx.Send(m.From, v-1)
+	}
+}
+
+func TestPingPongRunsToQuiescence(t *testing.T) {
+	a := &pingPong{starts: true, peer: 2, initial: 10}
+	b := &pingPong{}
+	eng, err := async.NewEngine([]async.Handler{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// b received 10, 8, 6, 4, 2, 0; a received 9, 7, 5, 3, 1.
+	if len(b.got) != 6 || len(a.got) != 5 {
+		t.Fatalf("a got %v, b got %v", a.got, b.got)
+	}
+	if eng.MessagesSent() != 11 {
+		t.Errorf("messages sent = %d, want 11", eng.MessagesSent())
+	}
+}
+
+func TestFIFOPerChannel(t *testing.T) {
+	// A sender's messages to one destination arrive in send order.
+	type burst struct{ seq int }
+	recvd := make(chan int, 100)
+	sender := handlerFunc{
+		init: func(ctx *async.Context) {
+			for i := 0; i < 50; i++ {
+				ctx.Send(2, burst{i})
+			}
+		},
+	}
+	receiver := handlerFunc{
+		onMessage: func(_ *async.Context, m async.Message) {
+			recvd <- m.Payload.(burst).seq
+		},
+	}
+	eng, err := async.NewEngine([]async.Handler{sender, receiver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	close(recvd)
+	want := 0
+	for seq := range recvd {
+		if seq != want {
+			t.Fatalf("FIFO violated: got %d, want %d", seq, want)
+		}
+		want++
+	}
+	if want != 50 {
+		t.Fatalf("received %d messages, want 50", want)
+	}
+}
+
+// handlerFunc adapts closures to async.Handler.
+type handlerFunc struct {
+	init      func(*async.Context)
+	onMessage func(*async.Context, async.Message)
+}
+
+func (h handlerFunc) Init(ctx *async.Context) {
+	if h.init != nil {
+		h.init(ctx)
+	}
+}
+
+func (h handlerFunc) OnMessage(ctx *async.Context, m async.Message) {
+	if h.onMessage != nil {
+		h.onMessage(ctx, m)
+	}
+}
+
+func TestBroadcastReachesEveryone(t *testing.T) {
+	const n = 6
+	var mu sync.Mutex
+	got := map[async.NodeID]int{}
+	handlers := make([]async.Handler, n)
+	handlers[0] = handlerFunc{init: func(ctx *async.Context) { ctx.Broadcast("hello") }}
+	for i := 1; i < n; i++ {
+		handlers[i] = handlerFunc{onMessage: func(ctx *async.Context, m async.Message) {
+			mu.Lock()
+			got[ctx.ID()]++
+			mu.Unlock()
+		}}
+	}
+	eng, err := async.NewEngine(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(got) != n-1 {
+		t.Fatalf("broadcast reached %d nodes, want %d", len(got), n-1)
+	}
+	for id, c := range got {
+		if c != 1 {
+			t.Errorf("node %d received %d copies", id, c)
+		}
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := async.NewEngine(nil); err == nil {
+		t.Error("accepted empty system")
+	}
+	if _, err := async.NewEngine([]async.Handler{nil}); err == nil {
+		t.Error("accepted nil handler")
+	}
+}
+
+func TestQuiescenceWithNoTraffic(t *testing.T) {
+	eng, err := async.NewEngine([]async.Handler{handlerFunc{}, handlerFunc{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run() // must return promptly with nothing to deliver
+	if eng.MessagesSent() != 0 {
+		t.Errorf("messages sent = %d, want 0", eng.MessagesSent())
+	}
+}

@@ -1,0 +1,325 @@
+package check_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/consensus/earlystop"
+	"repro/internal/consensus/floodset"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestBacktrackerEnumeratesFullTree(t *testing.T) {
+	// A fixed choice structure Choose(2) then Choose(3) has 6 leaves.
+	bt := check.NewBacktracker()
+	seen := map[string]bool{}
+	for {
+		a := bt.Choose(2)
+		b := bt.Choose(3)
+		key := fmt.Sprintf("%d-%d", a, b)
+		if seen[key] {
+			t.Fatalf("duplicate execution %s", key)
+		}
+		seen[key] = true
+		if !bt.Next() {
+			break
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("enumerated %d executions, want 6", len(seen))
+	}
+}
+
+func TestBacktrackerDependentTree(t *testing.T) {
+	// The shape of later choices may depend on earlier picks; count leaves of
+	// Choose(2) -> {0: Choose(2), 1: leaf}: 3 executions.
+	bt := check.NewBacktracker()
+	count := 0
+	for {
+		if bt.Choose(2) == 0 {
+			bt.Choose(2)
+		}
+		count++
+		if !bt.Next() {
+			break
+		}
+	}
+	if count != 3 {
+		t.Fatalf("enumerated %d executions, want 3", count)
+	}
+}
+
+func TestBacktrackerTrivialChoices(t *testing.T) {
+	bt := check.NewBacktracker()
+	if v := bt.Choose(1); v != 0 {
+		t.Errorf("Choose(1) = %d, want 0", v)
+	}
+	if v := bt.Choose(0); v != 0 {
+		t.Errorf("Choose(0) = %d, want 0", v)
+	}
+	if bt.Next() {
+		t.Error("Next() = true for a tree with no real choices")
+	}
+}
+
+func TestReplayerReproducesScript(t *testing.T) {
+	r := &check.Replayer{Values: []int{1, 2, 0}}
+	got := []int{r.Choose(2), r.Choose(3), r.Choose(2), r.Choose(5)}
+	want := []int{1, 2, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("choice %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Out-of-range script values are clamped.
+	r2 := &check.Replayer{Values: []int{9}}
+	if v := r2.Choose(3); v != 2 {
+		t.Errorf("clamped choice = %d, want 2", v)
+	}
+}
+
+// crwFactory builds executions of the paper's algorithm with n processes and
+// crash budget t, every nondeterministic choice resolved by the chooser.
+func crwFactory(n, t int, opts core.Options) check.RunFactory {
+	return func(ch interface{ Choose(int) int }) check.Execution {
+		props := make([]sim.Value, n)
+		for i := range props {
+			props[i] = sim.Value(10 + i)
+		}
+		model := sim.ModelExtended
+		if opts.CommitAsData {
+			model = sim.ModelClassic
+		}
+		return check.Execution{
+			Procs:     core.NewSystem(props, opts),
+			Adv:       adversary.NewFromChooser(ch, t, sim.Round(n)),
+			Cfg:       sim.Config{Model: model, Horizon: sim.Round(n + 2)},
+			Proposals: props,
+		}
+	}
+}
+
+// fullValidator checks the uniform consensus spec plus the f+1 bound and
+// rejects engine errors.
+func fullValidator(bound func(int) sim.Round) check.Validator {
+	return func(ex check.Execution, res *sim.Result, engineErr error) error {
+		if engineErr != nil {
+			return engineErr
+		}
+		if err := check.Consensus(ex.Proposals, res); err != nil {
+			return err
+		}
+		if bound != nil {
+			return check.RoundBound(res, bound)
+		}
+		return nil
+	}
+}
+
+func TestExhaustiveCRWSmall(t *testing.T) {
+	// Experiment E5: enumerate EVERY execution of the faithful algorithm for
+	// small systems. Every execution must satisfy uniform consensus and the
+	// f+1 decision bound of Theorem 1, and the bound must be attained
+	// (tightness: some execution with f = t crashes decides only at t+1).
+	cases := []struct {
+		n, t int
+	}{
+		{3, 1},
+		{3, 2},
+		{4, 1},
+		{4, 2},
+		{5, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("n=%d,t=%d", tc.n, tc.t), func(t *testing.T) {
+			stats, err := check.Explore(crwFactory(tc.n, tc.t, core.Options{}),
+				fullValidator(check.BoundFPlus1),
+				check.ExploreOpts{Budget: 20_000_000})
+			if err != nil {
+				t.Fatalf("explore: %v", err)
+			}
+			if len(stats.Counterexamples) != 0 {
+				ce := stats.Counterexamples[0]
+				t.Fatalf("violation after %d executions: %v (script %v, decisions %v)",
+					stats.Executions, ce.Err, ce.Script, ce.Result.Decisions)
+			}
+			if stats.MaxFaults != tc.t {
+				t.Errorf("max faults = %d, want %d", stats.MaxFaults, tc.t)
+			}
+			// Tightness: the f+1 bound is met with equality somewhere.
+			if want := sim.Round(tc.t + 1); stats.MaxDecideRound != want {
+				t.Errorf("max decide round = %d, want exactly %d (bound tight)",
+					stats.MaxDecideRound, want)
+			}
+			t.Logf("n=%d t=%d: %d executions, max decide round %d",
+				tc.n, tc.t, stats.Executions, stats.MaxDecideRound)
+		})
+	}
+}
+
+func TestExhaustiveAscendingOrderViolatesBound(t *testing.T) {
+	// Experiment E10a: with the ascending commit order, the explorer finds an
+	// execution violating the f+1 bound (but never an agreement violation).
+	agreementOnly := func(ex check.Execution, res *sim.Result, engineErr error) error {
+		if engineErr != nil {
+			return engineErr
+		}
+		return check.Consensus(ex.Proposals, res)
+	}
+	stats, err := check.Explore(crwFactory(4, 1, core.Options{Order: core.OrderAscending}),
+		agreementOnly, check.ExploreOpts{Budget: 20_000_000})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if len(stats.Counterexamples) != 0 {
+		t.Fatalf("agreement violated under ascending order: %v", stats.Counterexamples[0].Err)
+	}
+	// Now check the round bound: it must fail somewhere.
+	stats, err = check.Explore(crwFactory(4, 1, core.Options{Order: core.OrderAscending}),
+		fullValidator(check.BoundFPlus1), check.ExploreOpts{Budget: 20_000_000})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if len(stats.Counterexamples) == 0 {
+		t.Fatal("ascending commit order unexpectedly satisfies the f+1 bound everywhere")
+	}
+	if !errors.Is(stats.Counterexamples[0].Err, check.ErrRoundBound) {
+		t.Fatalf("counterexample error = %v, want round bound violation", stats.Counterexamples[0].Err)
+	}
+	t.Logf("found bound violation, script %v", stats.Counterexamples[0].Script)
+}
+
+func TestExhaustiveCommitAsDataViolatesAgreement(t *testing.T) {
+	// Experiment E10b: without the two-step send structure (commit sent as an
+	// ordinary data message), the explorer finds a uniform agreement
+	// violation.
+	stats, err := check.Explore(crwFactory(3, 1, core.Options{CommitAsData: true}),
+		fullValidator(nil), check.ExploreOpts{Budget: 20_000_000})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if len(stats.Counterexamples) == 0 {
+		t.Fatal("commit-as-data unexpectedly satisfies uniform agreement everywhere")
+	}
+	found := false
+	for _, ce := range stats.Counterexamples {
+		if errors.Is(ce.Err, check.ErrAgreement) {
+			found = true
+			t.Logf("agreement counterexample: %v (script %v)", ce.Err, ce.Script)
+		}
+	}
+	if !found {
+		// The first violation may be a round-bound artifact; search deeper.
+		stats, err = check.Explore(crwFactory(3, 1, core.Options{CommitAsData: true}),
+			func(ex check.Execution, res *sim.Result, engineErr error) error {
+				if engineErr != nil {
+					return nil // tolerate horizon issues; we want agreement only
+				}
+				if err := check.Consensus(ex.Proposals, res); errors.Is(err, check.ErrAgreement) {
+					return err
+				}
+				return nil
+			}, check.ExploreOpts{Budget: 20_000_000})
+		if err != nil {
+			t.Fatalf("explore: %v", err)
+		}
+		if len(stats.Counterexamples) == 0 {
+			t.Fatal("no uniform agreement violation found for commit-as-data")
+		}
+	}
+}
+
+func TestExhaustiveEarlyStop(t *testing.T) {
+	// The classic early-stopping baseline satisfies uniform consensus and the
+	// min(f+2, t+1) bound on every execution of small systems.
+	cases := []struct{ n, t int }{{3, 1}, {3, 2}, {4, 1}}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("n=%d,t=%d", tc.n, tc.t), func(t *testing.T) {
+			factory := func(ch interface{ Choose(int) int }) check.Execution {
+				props := make([]sim.Value, tc.n)
+				for i := range props {
+					props[i] = sim.Value(10 + i)
+				}
+				return check.Execution{
+					Procs:     earlystop.NewSystem(props, tc.t, 8),
+					Adv:       adversary.NewFromChooser(ch, tc.t, sim.Round(tc.t+1)),
+					Cfg:       sim.Config{Model: sim.ModelClassic, Horizon: sim.Round(tc.t + 2)},
+					Proposals: props,
+				}
+			}
+			stats, err := check.Explore(factory, fullValidator(check.BoundClassic(tc.t)),
+				check.ExploreOpts{Budget: 20_000_000})
+			if err != nil {
+				t.Fatalf("explore: %v", err)
+			}
+			if len(stats.Counterexamples) != 0 {
+				ce := stats.Counterexamples[0]
+				t.Fatalf("violation: %v (script %v, decisions %v, crashed %v)",
+					ce.Err, ce.Script, ce.Result.Decisions, ce.Result.Crashed)
+			}
+			t.Logf("n=%d t=%d: %d executions, max decide round %d",
+				tc.n, tc.t, stats.Executions, stats.MaxDecideRound)
+		})
+	}
+}
+
+func TestExhaustiveFloodSet(t *testing.T) {
+	// FloodSet satisfies uniform consensus on every execution and always
+	// takes exactly t+1 rounds.
+	cases := []struct{ n, t int }{{3, 1}, {3, 2}}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("n=%d,t=%d", tc.n, tc.t), func(t *testing.T) {
+			factory := func(ch interface{ Choose(int) int }) check.Execution {
+				props := make([]sim.Value, tc.n)
+				for i := range props {
+					props[i] = sim.Value(10 + i)
+				}
+				return check.Execution{
+					Procs:     floodset.NewSystem(props, tc.t, 8),
+					Adv:       adversary.NewFromChooser(ch, tc.t, sim.Round(tc.t+1)),
+					Cfg:       sim.Config{Model: sim.ModelClassic, Horizon: sim.Round(tc.t + 2)},
+					Proposals: props,
+				}
+			}
+			validator := func(ex check.Execution, res *sim.Result, engineErr error) error {
+				if engineErr != nil {
+					return engineErr
+				}
+				if err := check.Consensus(ex.Proposals, res); err != nil {
+					return err
+				}
+				// Every decider decides exactly at round t+1: no early stopping.
+				for id, r := range res.DecideRound {
+					if r != sim.Round(tc.t+1) {
+						return fmt.Errorf("p%d decided at round %d, want %d", id, r, tc.t+1)
+					}
+				}
+				return nil
+			}
+			stats, err := check.Explore(factory, validator, check.ExploreOpts{Budget: 20_000_000})
+			if err != nil {
+				t.Fatalf("explore: %v", err)
+			}
+			if len(stats.Counterexamples) != 0 {
+				ce := stats.Counterexamples[0]
+				t.Fatalf("violation: %v (script %v)", ce.Err, ce.Script)
+			}
+			t.Logf("n=%d t=%d: %d executions", tc.n, tc.t, stats.Executions)
+		})
+	}
+}
+
+func TestExploreBudgetExhaustion(t *testing.T) {
+	_, err := check.Explore(crwFactory(4, 2, core.Options{}), fullValidator(nil),
+		check.ExploreOpts{Budget: 10})
+	if !errors.Is(err, check.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}

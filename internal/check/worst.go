@@ -1,0 +1,61 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Worst is the result of a worst-schedule search: the choice script of the
+// execution that maximizes the latest decision round, together with that
+// round and the number of crashes the schedule uses.
+//
+// This makes the tightness half of the paper's optimality claim
+// constructive: rather than asserting "some execution needs f+1 rounds", the
+// search returns the execution. For the faithful algorithm the result always
+// matches the coordinator-killer schedule from the proof of Theorem 4.
+type Worst struct {
+	Script      []int
+	DecideRound sim.Round
+	Faults      int
+	Rounds      sim.Round
+	Executions  int
+}
+
+// FindWorstSchedule enumerates all executions produced by the factory and
+// returns the one whose latest decision happens latest (ties broken by fewer
+// faults, making the witness as economical as possible). Runs that violate
+// the consensus spec or fail to finish are reported as errors: a worst-case
+// search over a broken protocol is meaningless.
+func FindWorstSchedule(factory RunFactory, opts ExploreOpts) (*Worst, error) {
+	bt := NewBacktracker()
+	worst := &Worst{}
+	for {
+		if opts.Budget > 0 && worst.Executions >= opts.Budget {
+			return worst, fmt.Errorf("%w (after %d executions)", ErrBudget, worst.Executions)
+		}
+		ex := factory(bt)
+		eng, err := sim.NewEngine(ex.Cfg, ex.Procs, ex.Adv)
+		if err != nil {
+			return worst, fmt.Errorf("check: building engine: %w", err)
+		}
+		res, runErr := eng.Run()
+		worst.Executions++
+		if runErr != nil {
+			return worst, fmt.Errorf("check: execution %v failed: %w", bt.Script(), runErr)
+		}
+		if err := Consensus(ex.Proposals, res); err != nil {
+			return worst, fmt.Errorf("check: execution %v violates consensus: %w", bt.Script(), err)
+		}
+		d := res.MaxDecideRound()
+		if d > worst.DecideRound || (d == worst.DecideRound && len(worst.Script) == 0) {
+			worst.Script = append([]int(nil), bt.Script()...)
+			worst.DecideRound = d
+			worst.Faults = res.Faults()
+			worst.Rounds = res.Rounds
+		}
+		if !bt.Next() {
+			return worst, nil
+		}
+	}
+}

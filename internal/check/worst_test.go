@@ -1,0 +1,73 @@
+package check_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestFindWorstScheduleMatchesTPlus1(t *testing.T) {
+	// The search must discover the t+1-round witness of Theorem 4's
+	// tightness — the schedule that crashes one coordinator per round.
+	for _, tc := range []struct{ n, t int }{{3, 1}, {3, 2}, {4, 2}, {5, 2}} {
+		worst, err := check.FindWorstSchedule(crwFactory(tc.n, tc.t, core.Options{}),
+			check.ExploreOpts{Budget: 20_000_000})
+		if err != nil {
+			t.Fatalf("n=%d t=%d: %v", tc.n, tc.t, err)
+		}
+		if got, want := worst.DecideRound, sim.Round(tc.t+1); got != want {
+			t.Errorf("n=%d t=%d: worst decide round = %d, want %d", tc.n, tc.t, got, want)
+		}
+		if worst.Faults != tc.t {
+			t.Errorf("n=%d t=%d: worst schedule uses %d faults, want %d (one crash per round)",
+				tc.n, tc.t, worst.Faults, tc.t)
+		}
+	}
+}
+
+func TestWorstScheduleReplays(t *testing.T) {
+	// The returned script reproduces the worst execution exactly when fed
+	// through a Replayer, and its transcript shows the crash cascade.
+	const n, tt = 4, 2
+	worst, err := check.FindWorstSchedule(crwFactory(n, tt, core.Options{}),
+		check.ExploreOpts{Budget: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := []sim.Value{10, 11, 12, 13}
+	log := trace.New()
+	eng, err := sim.NewEngine(
+		sim.Config{Model: sim.ModelExtended, Horizon: sim.Round(n + 2), Trace: log},
+		core.NewSystem(props, core.Options{}),
+		adversary.NewFromChooser(&check.Replayer{Values: worst.Script}, tt, sim.Round(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxDecideRound() != worst.DecideRound {
+		t.Errorf("replayed decide round = %d, want %d", res.MaxDecideRound(), worst.DecideRound)
+	}
+	if res.Faults() != worst.Faults {
+		t.Errorf("replayed faults = %d, want %d", res.Faults(), worst.Faults)
+	}
+	if len(log.Filter(trace.KindCrash)) != worst.Faults {
+		t.Errorf("transcript shows %d crashes, want %d", len(log.Filter(trace.KindCrash)), worst.Faults)
+	}
+}
+
+func TestFindWorstRejectsBrokenProtocols(t *testing.T) {
+	// Searching the commit-as-data ablation hits an agreement violation and
+	// must surface it instead of returning a bogus worst case.
+	_, err := check.FindWorstSchedule(crwFactory(3, 1, core.Options{CommitAsData: true}),
+		check.ExploreOpts{Budget: 20_000_000})
+	if err == nil {
+		t.Fatal("expected a consensus violation error")
+	}
+}

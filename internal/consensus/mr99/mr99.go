@@ -1,0 +1,297 @@
+// Package mr99 implements the asynchronous uniform consensus algorithm of
+// Mostéfaoui and Raynal (DISC 1999) for systems equipped with a failure
+// detector of class ◇S — reference [15] of the paper, called MR99 there.
+// Section 4 of the paper presents its own synchronous algorithm and MR99 as
+// "two implementations in different settings of the very same basic
+// principle": experiment E8 runs both and compares their per-round
+// communication structure.
+//
+// Each asynchronous round r has a rotating coordinator c = ((r-1) mod n)+1
+// and two communication steps:
+//
+//  1. c broadcasts its current estimate; every process waits until it
+//     receives the estimate or suspects c (◇S query), setting aux to the
+//     estimate or ⊥ accordingly.
+//  2. every process broadcasts aux and waits for n-t AUX messages (the
+//     largest number that cannot deadlock). If a majority of the received
+//     AUX values carry the estimate v, the process decides v; if at least
+//     one does, it adopts v; otherwise it keeps its estimate.
+//
+// Deciding processes reliably broadcast the decision so that everyone
+// terminates; the executor models this by delivering the decision to all
+// alive processes one round later.
+//
+// Nondeterminism (which processes receive the coordinator's estimate, which
+// n-t AUX quorum each process observes, when crashes happen) is delegated to
+// an Oracle, so the executor is deterministic and — with a backtracking
+// oracle — exhaustively checkable, exactly like the synchronous engine.
+//
+// The algorithm requires a majority of correct processes (t < n/2), the
+// bound the paper quotes from [5] as necessary in this setting.
+package mr99
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Unknown is the ⊥ aux value.
+const Unknown = sim.NoValue
+
+// Oracle resolves the nondeterminism of an asynchronous execution.
+type Oracle interface {
+	// CrashesBefore reports whether p crashes before participating in round
+	// r (crashed processes stay crashed). The executor enforces the global
+	// bound of t crashes.
+	CrashesBefore(p sim.ProcID, r int) bool
+	// ReceivesEstimate reports whether p obtains the round-r coordinator's
+	// estimate in step 1 (true) or gives up after suspecting it (false).
+	// When the coordinator is crashed the oracle may return either (the
+	// estimate may have been sent before the crash); when it is alive,
+	// returning false models a false suspicion (allowed by ◇S only finitely
+	// long — the oracle's GST discipline enforces eventual accuracy).
+	ReceivesEstimate(p sim.ProcID, r int, coordAlive bool) bool
+	// AuxQuorum selects which need (= n-t) AUX senders p observes in step 2,
+	// out of the alive senders. The returned slice must be a subset of
+	// senders of length need.
+	AuxQuorum(p sim.ProcID, r int, senders []sim.ProcID, need int) []sim.ProcID
+}
+
+// Config parametrizes a run.
+type Config struct {
+	N int
+	T int // resilience; must satisfy T < N/2
+	// MaxRounds aborts runs that fail to decide (oracle starvation guard).
+	MaxRounds int
+}
+
+// Validate checks the ◇S resilience requirement.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return errors.New("mr99: need at least one process")
+	}
+	if c.T < 0 || 2*c.T >= c.N {
+		return fmt.Errorf("mr99: need t < n/2, got n=%d t=%d", c.N, c.T)
+	}
+	return nil
+}
+
+// RoundTrace records the communication of one asynchronous round for the
+// bridge comparison of experiment E8.
+type RoundTrace struct {
+	Round       int
+	Coordinator sim.ProcID
+	// Step1Msgs is the number of estimate messages the coordinator sent.
+	Step1Msgs int
+	// Step2Msgs is the number of AUX messages broadcast in the second step.
+	Step2Msgs int
+	// Deciders lists the processes that decided in this round.
+	Deciders []sim.ProcID
+}
+
+// Result summarizes a run.
+type Result struct {
+	Decisions   map[sim.ProcID]sim.Value
+	DecideRound map[sim.ProcID]int
+	Crashed     map[sim.ProcID]int
+	Rounds      int
+	Trace       []RoundTrace
+}
+
+// Faults returns the number of crashes that occurred.
+func (r *Result) Faults() int { return len(r.Crashed) }
+
+// proc is the per-process state.
+type proc struct {
+	id       sim.ProcID
+	est      sim.Value
+	crashed  bool
+	decided  bool
+	decision sim.Value
+}
+
+// Run executes one consensus instance under the oracle.
+func Run(cfg Config, proposals []sim.Value, o Oracle) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(proposals) != cfg.N {
+		return nil, fmt.Errorf("mr99: %d proposals for %d processes", len(proposals), cfg.N)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 4 * cfg.N
+	}
+	procs := make([]*proc, cfg.N)
+	for i := range procs {
+		procs[i] = &proc{id: sim.ProcID(i + 1), est: proposals[i]}
+	}
+	res := &Result{
+		Decisions:   map[sim.ProcID]sim.Value{},
+		DecideRound: map[sim.ProcID]int{},
+		Crashed:     map[sim.ProcID]int{},
+	}
+	majority := cfg.N/2 + 1
+	need := cfg.N - cfg.T
+	decidedLastRound := false
+	var lockedValue sim.Value
+
+	for r := 1; r <= maxRounds; r++ {
+		// Crash phase: the oracle may crash processes (within budget t).
+		for _, p := range procs {
+			if !p.crashed && res.Faults() < cfg.T && o.CrashesBefore(p.id, r) {
+				p.crashed = true
+				res.Crashed[p.id] = r
+			}
+		}
+		alive := aliveOf(procs)
+		if len(alive) == 0 {
+			res.Rounds = r
+			return res, nil
+		}
+
+		// Decision propagation: a decision made in round r-1 reaches every
+		// alive process now (reliable broadcast of DECIDE).
+		if decidedLastRound {
+			for _, p := range alive {
+				decide(res, p, lockedValue, r)
+			}
+			res.Rounds = r
+			return res, nil
+		}
+
+		coord := procs[(r-1)%cfg.N]
+		tr := RoundTrace{Round: r, Coordinator: coord.id}
+
+		// Step 1: coordinator broadcast; receivers set aux. A coordinator
+		// crashes only at round boundaries in this executor, so a crashed
+		// coordinator sent nothing and every receiver eventually suspects it
+		// (aux = ⊥); the pre-GST oracle can still model false suspicion of an
+		// alive coordinator.
+		aux := map[sim.ProcID]sim.Value{}
+		coordAlive := !coord.crashed
+		if coordAlive {
+			tr.Step1Msgs = cfg.N - 1
+		}
+		for _, p := range alive {
+			got := false
+			if coordAlive {
+				if p == coord {
+					got = true // the coordinator trivially has its own estimate
+				} else {
+					got = o.ReceivesEstimate(p.id, r, true)
+				}
+			}
+			if got {
+				aux[p.id] = coord.est
+			} else {
+				aux[p.id] = Unknown
+			}
+		}
+
+		// Step 2: all-to-all AUX exchange; each process observes an
+		// oracle-chosen quorum of n-t senders.
+		senders := ids(alive)
+		tr.Step2Msgs = len(alive) * (cfg.N - 1)
+		if len(senders) < need {
+			return res, fmt.Errorf("mr99: only %d alive senders for quorum %d (round %d)",
+				len(senders), need, r)
+		}
+		est := coord.est
+		anyDecided := false
+		for _, p := range alive {
+			quorum := o.AuxQuorum(p.id, r, senders, need)
+			if err := validQuorum(quorum, senders, need); err != nil {
+				return res, fmt.Errorf("mr99: oracle returned bad quorum for p%d round %d: %w",
+					p.id, r, err)
+			}
+			countV := 0
+			for _, q := range quorum {
+				if aux[q] != Unknown {
+					countV++
+				}
+			}
+			switch {
+			case countV >= majority:
+				decide(res, p, est, r)
+				tr.Deciders = append(tr.Deciders, p.id)
+				anyDecided = true
+			case countV > 0:
+				p.est = est
+			}
+		}
+		res.Trace = append(res.Trace, tr)
+		res.Rounds = r
+		if anyDecided {
+			decidedLastRound = true
+			lockedValue = est
+		}
+		if allDecided(alive) {
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("mr99: no decision within %d rounds (oracle starves the run)", maxRounds)
+}
+
+// decide records a decision (idempotently) for an alive process.
+func decide(res *Result, p *proc, v sim.Value, r int) {
+	if p.decided || p.crashed {
+		return
+	}
+	p.decided = true
+	p.decision = v
+	res.Decisions[p.id] = v
+	res.DecideRound[p.id] = r
+}
+
+func aliveOf(procs []*proc) []*proc {
+	var out []*proc
+	for _, p := range procs {
+		if !p.crashed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func allDecided(procs []*proc) bool {
+	for _, p := range procs {
+		if !p.decided {
+			return false
+		}
+	}
+	return true
+}
+
+func ids(procs []*proc) []sim.ProcID {
+	out := make([]sim.ProcID, len(procs))
+	for i, p := range procs {
+		out[i] = p.id
+	}
+	return out
+}
+
+// validQuorum checks an oracle-selected quorum: right size, no duplicates,
+// subset of senders.
+func validQuorum(quorum, senders []sim.ProcID, need int) error {
+	if len(quorum) != need {
+		return fmt.Errorf("size %d, want %d", len(quorum), need)
+	}
+	in := map[sim.ProcID]bool{}
+	for _, s := range senders {
+		in[s] = true
+	}
+	seen := map[sim.ProcID]bool{}
+	for _, q := range quorum {
+		if !in[q] {
+			return fmt.Errorf("p%d not an alive sender", q)
+		}
+		if seen[q] {
+			return fmt.Errorf("p%d duplicated", q)
+		}
+		seen[q] = true
+	}
+	return nil
+}

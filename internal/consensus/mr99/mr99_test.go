@@ -1,0 +1,219 @@
+package mr99_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/consensus/mr99"
+	"repro/internal/sim"
+)
+
+func props(n int) []sim.Value {
+	vs := make([]sim.Value, n)
+	for i := range vs {
+		vs[i] = sim.Value(100 + i)
+	}
+	return vs
+}
+
+// validate checks uniform consensus on an MR99 result.
+func validate(proposals []sim.Value, res *mr99.Result) error {
+	prop := map[sim.Value]bool{}
+	for _, v := range proposals {
+		prop[v] = true
+	}
+	distinct := map[sim.Value]bool{}
+	for id, v := range res.Decisions {
+		if !prop[v] {
+			return fmt.Errorf("p%d decided non-proposal %d", id, int64(v))
+		}
+		distinct[v] = true
+	}
+	if len(distinct) > 1 {
+		return fmt.Errorf("agreement violated: %v", res.Decisions)
+	}
+	for i := 1; i <= len(proposals); i++ {
+		id := sim.ProcID(i)
+		if _, crashed := res.Crashed[id]; crashed {
+			continue
+		}
+		if _, ok := res.Decisions[id]; !ok {
+			return fmt.Errorf("alive p%d never decided", id)
+		}
+	}
+	return nil
+}
+
+func TestFailureFreeImmediateGST(t *testing.T) {
+	// With an accurate failure detector from round 1, everyone decides the
+	// first coordinator's proposal in round 1.
+	pr := props(5)
+	res, err := mr99.Run(mr99.Config{N: 5, T: 2}, pr, &mr99.GSTOracle{GST: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(pr, res); err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range res.Decisions {
+		if v != pr[0] {
+			t.Errorf("p%d decided %d, want %d", id, int64(v), int64(pr[0]))
+		}
+		if res.DecideRound[id] != 1 {
+			t.Errorf("p%d decided in round %d, want 1", id, res.DecideRound[id])
+		}
+	}
+}
+
+func TestCoordinatorCrashDelaysDecision(t *testing.T) {
+	// p1 crashes before round 1: round 1 produces only ⊥, round 2 (p2
+	// coordinating) decides p2's proposal.
+	pr := props(5)
+	res, err := mr99.Run(mr99.Config{N: 5, T: 2}, pr,
+		&mr99.GSTOracle{GST: 1, Crashes: map[sim.ProcID]int{1: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(pr, res); err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range res.Decisions {
+		if v != pr[1] {
+			t.Errorf("p%d decided %d, want %d", id, int64(v), int64(pr[1]))
+		}
+		if res.DecideRound[id] != 2 {
+			t.Errorf("p%d decided in round %d, want 2", id, res.DecideRound[id])
+		}
+	}
+}
+
+func TestLateGSTDelaysDecision(t *testing.T) {
+	// Before GST every process falsely suspects the coordinator — except the
+	// coordinator itself, which trivially holds its own estimate. So in each
+	// pre-GST round the coordinator's aux is its estimate while everyone
+	// else's is ⊥: quorums containing the coordinator see one non-⊥ value
+	// and adopt it. p1's proposal is therefore adopted by everyone in round
+	// 1 and carried through the coordinator chain; the decision happens at
+	// round GST, with p1's value.
+	pr := props(5)
+	const gst = 4
+	res, err := mr99.Run(mr99.Config{N: 5, T: 2}, pr, &mr99.GSTOracle{GST: gst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate(pr, res); err != nil {
+		t.Fatal(err)
+	}
+	for id := range res.Decisions {
+		if res.DecideRound[id] != gst {
+			t.Errorf("p%d decided in round %d, want %d", id, res.DecideRound[id], gst)
+		}
+	}
+	for id, v := range res.Decisions {
+		if v != pr[0] {
+			t.Errorf("p%d decided %d, want %d (p1's value adopted in round 1)", id, int64(v), int64(pr[0]))
+		}
+	}
+}
+
+func TestBridgeMessageStructure(t *testing.T) {
+	// Experiment E8: one failure-free MR99 round costs n-1 step-1 messages
+	// plus n(n-1) step-2 messages, versus n-1 data + n-1 commit messages for
+	// the paper's synchronous algorithm — the commit replaces the entire
+	// all-to-all second step.
+	const n = 6
+	pr := props(n)
+	res, err := mr99.Run(mr99.Config{N: n, T: 2}, pr, &mr99.GSTOracle{GST: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 1 {
+		t.Fatalf("rounds traced = %d, want 1", len(res.Trace))
+	}
+	tr := res.Trace[0]
+	if tr.Step1Msgs != n-1 {
+		t.Errorf("step-1 messages = %d, want %d", tr.Step1Msgs, n-1)
+	}
+	if tr.Step2Msgs != n*(n-1) {
+		t.Errorf("step-2 messages = %d, want %d", tr.Step2Msgs, n*(n-1))
+	}
+	if len(tr.Deciders) != n {
+		t.Errorf("deciders = %v, want all %d", tr.Deciders, n)
+	}
+}
+
+func TestResilienceBoundEnforced(t *testing.T) {
+	if _, err := mr99.Run(mr99.Config{N: 4, T: 2}, props(4), &mr99.GSTOracle{GST: 1}); err == nil {
+		t.Error("accepted t >= n/2")
+	}
+	if _, err := mr99.Run(mr99.Config{N: 3, T: 1}, props(2), &mr99.GSTOracle{GST: 1}); err == nil {
+		t.Error("accepted proposal count mismatch")
+	}
+}
+
+func TestOracleStarvationGuard(t *testing.T) {
+	// A GST beyond MaxRounds starves the run; the executor reports it rather
+	// than looping forever.
+	_, err := mr99.Run(mr99.Config{N: 3, T: 1, MaxRounds: 5}, props(3), &mr99.GSTOracle{GST: 100})
+	if err == nil {
+		t.Fatal("expected starvation error")
+	}
+}
+
+func TestExhaustiveMR99SmallSystem(t *testing.T) {
+	// Model-check MR99 for n=3, t=1 over every chooser-resolved execution
+	// with a chaotic prefix of 2 rounds: false suspicions, crashes and
+	// adversarial quorums before GST cannot break uniform consensus.
+	const n, tt, gst = 3, 1, 3
+	pr := props(n)
+	bt := check.NewBacktracker()
+	executions := 0
+	for {
+		oracle := &mr99.ChooserOracle{C: bt, T: tt, GST: gst}
+		res, err := mr99.Run(mr99.Config{N: n, T: tt, MaxRounds: gst + 3}, pr, oracle)
+		executions++
+		if err != nil {
+			t.Fatalf("execution %d: %v", executions, err)
+		}
+		if err := validate(pr, res); err != nil {
+			t.Fatalf("execution %d: %v", executions, err)
+		}
+		if !bt.Next() {
+			break
+		}
+		if executions > 5_000_000 {
+			t.Fatal("execution budget exceeded")
+		}
+	}
+	t.Logf("explored %d MR99 executions", executions)
+	if executions < 100 {
+		t.Errorf("suspiciously few executions (%d): chooser not exercised?", executions)
+	}
+}
+
+func TestQuorumIntersectionLocksValue(t *testing.T) {
+	// Once any process decides v in round r, every later decision must be v
+	// (the majority/quorum intersection argument). Run many chooser-driven
+	// executions of a larger system and check that mixed-round decisions
+	// agree.
+	const n, tt, gst = 5, 2, 3
+	pr := props(n)
+	bt := check.NewBacktracker()
+	executions := 0
+	for executions < 30_000 {
+		oracle := &mr99.ChooserOracle{C: bt, T: tt, GST: gst}
+		res, err := mr99.Run(mr99.Config{N: n, T: tt, MaxRounds: gst + 3}, pr, oracle)
+		executions++
+		if err != nil {
+			t.Fatalf("execution %d: %v", executions, err)
+		}
+		if err := validate(pr, res); err != nil {
+			t.Fatalf("execution %d: %v", executions, err)
+		}
+		if !bt.Next() {
+			break
+		}
+	}
+	t.Logf("explored %d executions", executions)
+}

@@ -1,0 +1,100 @@
+// Package des is a minimal deterministic discrete-event simulator used by
+// the continuous-time substrates of this repository (the fast failure
+// detector model of experiment E7).
+//
+// Events are callbacks scheduled at absolute times and executed in
+// nondecreasing time order; ties are broken by scheduling order (FIFO), which
+// keeps runs fully deterministic.
+package des
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Time is simulated time. Units are whatever the caller chooses (the FFD
+// experiments use the classic round duration D as the unit).
+type Time float64
+
+// Infinity is a time later than any schedulable event.
+const Infinity Time = Time(math.MaxFloat64)
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by time, then scheduling sequence.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation. The zero value is ready to use.
+type Sim struct {
+	queue   eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	steps   int
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Sim) Steps() int { return s.steps }
+
+// At schedules fn at absolute time t. Scheduling in the past (t < Now) runs
+// the event at the current time instead — events never rewind the clock.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn at Now()+d.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Stop ends the run after the current event returns.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events in order until the queue is empty, an event calls
+// Stop, or the next event would be later than until. It returns the final
+// simulated time.
+func (s *Sim) Run(until Time) Time {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		s.steps++
+		next.fn()
+	}
+	return s.now
+}
+
+// Pending returns the number of events still queued.
+func (s *Sim) Pending() int { return len(s.queue) }

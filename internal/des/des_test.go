@@ -1,0 +1,116 @@
+package des_test
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var s des.Sim
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run(des.Infinity)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %v, want 3", s.Now())
+	}
+	if s.Steps() != 3 {
+		t.Errorf("Steps = %d, want 3", s.Steps())
+	}
+}
+
+func TestTiesBreakFIFO(t *testing.T) {
+	var s des.Sim
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run(des.Infinity)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("tie order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var s des.Sim
+	var at des.Time
+	s.At(2, func() {
+		s.After(3, func() { at = s.Now() })
+	})
+	s.Run(des.Infinity)
+	if at != 5 {
+		t.Errorf("After fired at %v, want 5", at)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	var s des.Sim
+	var at des.Time = -1
+	s.At(10, func() {
+		s.At(1, func() { at = s.Now() }) // in the past: runs "now"
+	})
+	s.Run(des.Infinity)
+	if at != 10 {
+		t.Errorf("past event ran at %v, want 10", at)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	var s des.Sim
+	ran := 0
+	s.At(1, func() { ran++ })
+	s.At(100, func() { ran++ })
+	s.Run(50)
+	if ran != 1 {
+		t.Errorf("ran %d events, want 1", ran)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+	s.Run(des.Infinity)
+	if ran != 2 {
+		t.Errorf("ran %d events after resume, want 2", ran)
+	}
+}
+
+func TestStopEndsRun(t *testing.T) {
+	var s des.Sim
+	ran := 0
+	s.At(1, func() { ran++; s.Stop() })
+	s.At(2, func() { ran++ })
+	s.Run(des.Infinity)
+	if ran != 1 {
+		t.Errorf("ran %d events, want 1 (Stop ignored)", ran)
+	}
+}
+
+func TestEventsCanCascade(t *testing.T) {
+	var s des.Sim
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		if depth < 100 {
+			depth++
+			s.After(1, recurse)
+		}
+	}
+	s.At(0, recurse)
+	end := s.Run(des.Infinity)
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if end != 100 {
+		t.Errorf("end time = %v, want 100", end)
+	}
+}

@@ -1,0 +1,157 @@
+// Package experiments regenerates every quantitative claim of the paper as a
+// printable table. Each experiment E1–E10 corresponds to a row of the
+// experiment index in DESIGN.md; EXPERIMENTS.md records the paper-claim vs
+// measured comparison produced by these functions.
+//
+// The functions are deterministic: every table can be regenerated exactly
+// with cmd/agreebench, and the root-level benchmarks time their underlying
+// workloads.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier (E1..E10).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Claim is the paper's claim being checked.
+	Claim string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are the data rows.
+	Rows [][]string
+	// Verdict summarizes whether the measured behaviour matches the claim.
+	Verdict string
+}
+
+// AddRow appends a row built from arbitrary values.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = trimFloat(x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// trimFloat renders floats compactly (3 decimals, trailing zeros trimmed).
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.3f", f)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "paper claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Verdict != "" {
+		fmt.Fprintf(&b, "verdict: %s\n", t.Verdict)
+	}
+	return b.String()
+}
+
+// All runs every experiment and returns the tables in order.
+func All() []*Table {
+	return []*Table{
+		E1RoundsVsFaults(),
+		E2BitComplexity(),
+		E3Crossover(),
+		E4Baselines(),
+		E5Exhaustive(),
+		E6Simulation(),
+		E7FastFD(),
+		E8Bridge(),
+		E9Messages(),
+		E10Ablation(),
+		E11AverageCase(),
+		E12LANRealism(),
+		E13Valency(),
+		E14LossyChannels(),
+	}
+}
+
+// ByID returns the experiment with the given id (E1..E10), or nil.
+func ByID(id string) *Table {
+	switch strings.ToUpper(id) {
+	case "E1":
+		return E1RoundsVsFaults()
+	case "E2":
+		return E2BitComplexity()
+	case "E3":
+		return E3Crossover()
+	case "E4":
+		return E4Baselines()
+	case "E5":
+		return E5Exhaustive()
+	case "E6":
+		return E6Simulation()
+	case "E7":
+		return E7FastFD()
+	case "E8":
+		return E8Bridge()
+	case "E9":
+		return E9Messages()
+	case "E10":
+		return E10Ablation()
+	case "E11":
+		return E11AverageCase()
+	case "E12":
+		return E12LANRealism()
+	case "E13":
+		return E13Valency()
+	case "E14":
+		return E14LossyChannels()
+	default:
+		return nil
+	}
+}
+
+// verdict builds a PASS/FAIL verdict string.
+func verdict(ok bool, detail string) string {
+	if ok {
+		return "PASS — " + detail
+	}
+	return "FAIL — " + detail
+}

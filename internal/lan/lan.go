@@ -1,0 +1,118 @@
+// Package lan derives the timing parameters of the Section 2.2 cost model
+// from concrete local-area-network characteristics.
+//
+// The paper argues the extended model suits "synchronous systems built on
+// top of local area networks with reliable communication" and that the
+// winning condition δ < D/(f+1) "is always satisfied for realistic values of
+// δ and D". This package makes that argument checkable: given link speed,
+// propagation delay, payload size and per-message processing time, it
+// computes
+//
+//	D = propagation + transmission(data frame) + processing
+//	δ = transmission(control frame)
+//
+// because the control message is pipelined immediately behind the data
+// message on the same channel — the receiver has both after one extra
+// serialization time of a minimum-size frame, with no extra propagation or
+// processing budget (footnote 4 of the paper).
+package lan
+
+import "fmt"
+
+// Profile describes a LAN technology.
+type Profile struct {
+	// Name labels the profile.
+	Name string
+	// BitsPerSecond is the link speed.
+	BitsPerSecond float64
+	// PropagationSeconds is the one-way propagation delay (cable + switch).
+	PropagationSeconds float64
+	// ProcessingSeconds is the per-round processing budget included in D.
+	ProcessingSeconds float64
+	// MinFrameBits is the minimum frame size (a one-bit commit still costs a
+	// full minimum frame on real Ethernet).
+	MinFrameBits float64
+	// OverheadBits is the per-frame header/trailer overhead added to
+	// payloads.
+	OverheadBits float64
+}
+
+// Standard profiles with textbook Ethernet parameters.
+var (
+	// Ethernet100M is classic switched 100BASE-TX with ~100 m reach.
+	Ethernet100M = Profile{
+		Name:               "100 Mb/s Ethernet",
+		BitsPerSecond:      100e6,
+		PropagationSeconds: 5e-6,
+		ProcessingSeconds:  200e-6,
+		MinFrameBits:       512,
+		OverheadBits:       304, // 38 bytes MAC/IP/UDP framing
+	}
+	// Ethernet1G is switched gigabit Ethernet.
+	Ethernet1G = Profile{
+		Name:               "1 Gb/s Ethernet",
+		BitsPerSecond:      1e9,
+		PropagationSeconds: 5e-6,
+		ProcessingSeconds:  100e-6,
+		MinFrameBits:       4096, // carrier extension / burst minimum
+		OverheadBits:       304,
+	}
+	// Ethernet10G is a 10 GbE datacenter-style segment.
+	Ethernet10G = Profile{
+		Name:               "10 Gb/s Ethernet",
+		BitsPerSecond:      10e9,
+		PropagationSeconds: 2e-6,
+		ProcessingSeconds:  20e-6,
+		MinFrameBits:       512,
+		OverheadBits:       304,
+	}
+)
+
+// Profiles returns the standard profiles.
+func Profiles() []Profile { return []Profile{Ethernet100M, Ethernet1G, Ethernet10G} }
+
+// transmission returns the serialization time of a payload of the given
+// size, respecting the minimum frame size.
+func (p Profile) transmission(payloadBits float64) float64 {
+	bits := payloadBits + p.OverheadBits
+	if bits < p.MinFrameBits {
+		bits = p.MinFrameBits
+	}
+	return bits / p.BitsPerSecond
+}
+
+// D returns the classic round duration for b-bit proposals: the upper bound
+// on data-message delivery plus processing.
+func (p Profile) D(b int) float64 {
+	return p.PropagationSeconds + p.transmission(float64(b)) + p.ProcessingSeconds
+}
+
+// Delta returns δ: the extra round time of the extended model, one more
+// minimum-size frame serialized back-to-back behind the data frame.
+func (p Profile) Delta() float64 {
+	return p.transmission(1)
+}
+
+// Ratio returns δ/D for b-bit proposals.
+func (p Profile) Ratio(b int) float64 { return p.Delta() / p.D(b) }
+
+// ExtendedWinsUpTo returns the largest f for which the extended model beats
+// the classic model on this profile (δ/D < 1/(f+1) ⇒ f < D/δ - 1). A
+// negative return means it never wins.
+func (p Profile) ExtendedWinsUpTo(b int) int {
+	r := p.Ratio(b)
+	if r <= 0 {
+		return 1 << 30
+	}
+	f := int(1 / r) // largest f with f+1 <= 1/r ... adjusted below
+	for float64(f+1)*r >= 1 && f > -1 {
+		f--
+	}
+	return f
+}
+
+// String renders the profile with its derived parameters for 64-bit values.
+func (p Profile) String() string {
+	return fmt.Sprintf("%s: D=%.1fµs δ=%.2fµs δ/D=%.4f",
+		p.Name, p.D(64)*1e6, p.Delta()*1e6, p.Ratio(64))
+}

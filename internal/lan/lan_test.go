@@ -1,0 +1,82 @@
+package lan_test
+
+import (
+	"testing"
+
+	"repro/internal/lan"
+	"repro/internal/timing"
+)
+
+func TestDerivedParametersPositive(t *testing.T) {
+	for _, p := range lan.Profiles() {
+		for _, b := range []int{8, 64, 1024, 65536} {
+			if p.D(b) <= 0 {
+				t.Errorf("%s: D(%d) = %g", p.Name, b, p.D(b))
+			}
+			if p.Delta() <= 0 {
+				t.Errorf("%s: Delta = %g", p.Name, p.Delta())
+			}
+			if p.Delta() >= p.D(b) {
+				t.Errorf("%s: δ (%g) not << D (%g)", p.Name, p.Delta(), p.D(b))
+			}
+		}
+	}
+}
+
+func TestDMonotoneInPayload(t *testing.T) {
+	for _, p := range lan.Profiles() {
+		if p.D(1<<20) <= p.D(64) {
+			t.Errorf("%s: D not increasing in payload", p.Name)
+		}
+	}
+}
+
+func TestPaperRealismClaim(t *testing.T) {
+	// Section 2.2: "δ < D/(f+1) ... is always satisfied for realistic values
+	// of δ and D". With textbook Ethernet numbers the extended model wins for
+	// any plausible fault count on every profile (f up to double digits).
+	for _, p := range lan.Profiles() {
+		upTo := p.ExtendedWinsUpTo(64)
+		if upTo < 10 {
+			t.Errorf("%s: extended model wins only up to f=%d (ratio %.4f); the paper's realism claim fails",
+				p.Name, upTo, p.Ratio(64))
+		}
+	}
+}
+
+func TestExtendedWinsUpToConsistentWithTiming(t *testing.T) {
+	// ExtendedWinsUpTo must agree with the timing package's Advantage at the
+	// boundary (using a large t so the classic bound is f+2).
+	const b = 64
+	for _, p := range lan.Profiles() {
+		f := p.ExtendedWinsUpTo(b)
+		cost := timing.Cost{D: p.D(b), Delta: p.Delta()}
+		const bigT = 1 << 20
+		if f >= 0 && !cost.ExtendedWins(f, bigT) {
+			t.Errorf("%s: claims win at f=%d but Advantage = %g",
+				p.Name, f, cost.Advantage(f, bigT))
+		}
+		if cost.ExtendedWins(f+1, bigT) {
+			t.Errorf("%s: claims loss at f=%d but Advantage = %g",
+				p.Name, f+1, cost.Advantage(f+1, bigT))
+		}
+	}
+}
+
+func TestMinimumFrameFloor(t *testing.T) {
+	// A 1-bit commit costs a full minimum frame: δ must equal the
+	// minimum-frame serialization time.
+	p := lan.Ethernet100M
+	want := p.MinFrameBits / p.BitsPerSecond
+	if got := p.Delta(); got != want {
+		t.Errorf("Delta = %g, want min-frame time %g", got, want)
+	}
+}
+
+func TestString(t *testing.T) {
+	for _, p := range lan.Profiles() {
+		if p.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package lockstep_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/lockstep"
+	"repro/internal/sim"
+)
+
+// randomScript generates a random but deterministic (order-insensitive)
+// scripted adversary: a set of processes, each with a crash round and a
+// legal truncation. Script adversaries are pure functions of (process,
+// round), so both engines see identical fault behaviour regardless of
+// scheduling.
+func randomScript(rng *rand.Rand, n int) *adversary.Script {
+	plans := map[sim.ProcID]adversary.CrashPlan{}
+	crashes := rng.Intn(n) // 0..n-1 crashes
+	perm := rng.Perm(n)
+	for i := 0; i < crashes; i++ {
+		p := sim.ProcID(perm[i] + 1)
+		cp := adversary.CrashPlan{Round: sim.Round(rng.Intn(n) + 1)}
+		// Legal truncations only: either a data-step crash (mask, no
+		// control) or a control-step crash (all data, prefix).
+		if rng.Intn(2) == 0 {
+			mask := make([]bool, n) // oversized masks are truncated positionally
+			for j := range mask {
+				mask[j] = rng.Intn(2) == 1
+			}
+			cp.DataMask = mask[:rng.Intn(n)]
+			cp.CtrlPrefix = 0
+		} else {
+			cp.DeliverAllData = true
+			cp.CtrlPrefix = rng.Intn(n + 1)
+		}
+		plans[p] = cp
+	}
+	return adversary.NewScript(plans)
+}
+
+// TestDifferentialEnginesUnderRandomScripts fuzzes both engines with the
+// same randomly scripted crash schedules and requires bit-identical results:
+// same rounds, decisions, decide rounds, crash sets and traffic counters.
+func TestDifferentialEnginesUnderRandomScripts(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%8) + 3
+		props := make([]sim.Value, n)
+		for i := range props {
+			props[i] = sim.Value(rng.Intn(1000))
+		}
+
+		mk := func() (sim.Adversary, []sim.Process) {
+			return randomScript(rand.New(rand.NewSource(seed)), n),
+				core.NewSystem(props, core.Options{})
+		}
+
+		adv1, procs1 := mk()
+		eng, err := sim.NewEngine(sim.Config{Model: sim.ModelExtended, Horizon: sim.Round(n + 2)},
+			procs1, adv1)
+		if err != nil {
+			return false
+		}
+		want, err := eng.Run()
+		if err != nil {
+			return false
+		}
+
+		adv2, procs2 := mk()
+		rt, err := lockstep.New(lockstep.Config{Model: sim.ModelExtended, Horizon: sim.Round(n + 2)},
+			procs2, adv2)
+		if err != nil {
+			return false
+		}
+		got, err := rt.Run()
+		if err != nil {
+			return false
+		}
+
+		if got.Rounds != want.Rounds || len(got.Decisions) != len(want.Decisions) ||
+			len(got.Crashed) != len(want.Crashed) {
+			t.Logf("seed=%d n=%d: rounds %d/%d decisions %v/%v crashed %v/%v",
+				seed, n, got.Rounds, want.Rounds, got.Decisions, want.Decisions,
+				got.Crashed, want.Crashed)
+			return false
+		}
+		for id, v := range want.Decisions {
+			if got.Decisions[id] != v || got.DecideRound[id] != want.DecideRound[id] {
+				return false
+			}
+		}
+		for id, r := range want.Crashed {
+			if got.Crashed[id] != r {
+				return false
+			}
+		}
+		return got.Counters.DataMsgs == want.Counters.DataMsgs &&
+			got.Counters.CtrlMsgs == want.Counters.CtrlMsgs &&
+			got.Counters.DataBits == want.Counters.DataBits &&
+			got.Counters.DroppedData == want.Counters.DroppedData &&
+			got.Counters.DroppedCtrl == want.Counters.DroppedCtrl
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,355 @@
+// Package lockstep is a concurrent runtime for the synchronous models: one
+// goroutine per process, one buffered Go channel per directed process pair,
+// and a driver that enforces the round structure with barriers.
+//
+// It executes the same sim.Process state machines as the deterministic engine
+// in internal/sim, under the same sim.Adversary interface, and produces the
+// same sim.Result. The repository's cross-validation tests run identical
+// (process, adversary) configurations through both engines and assert
+// identical decisions — evidence that the deterministic kernel faithfully
+// implements the model the goroutine runtime realizes "for real".
+//
+// The mapping onto Go concurrency mirrors the model closely:
+//
+//   - every ordered pair of processes gets a channel of capacity 2, because a
+//     channel of the extended model never holds more than one data message
+//     and one control message per round (footnote 3 of the paper);
+//   - the send phase of a round runs concurrently in all process goroutines;
+//     a crashing process performs the escaped prefix of its sends and then
+//     its goroutine exits, exactly like a crash mid-send-phase;
+//   - the barrier between the send and receive phases is the model's
+//     synchrony assumption (a message sent in round r arrives in round r).
+//
+// Adversary calls are serialized with a mutex, but the order in which
+// concurrent processes consult the adversary is scheduling-dependent: use
+// order-insensitive adversaries (None, Script, CoordinatorKiller — anything
+// that is a pure function of process and round) when comparing against the
+// deterministic engine.
+package lockstep
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Config configures a lockstep run.
+type Config struct {
+	// Model selects classic or extended semantics.
+	Model sim.Model
+	// Horizon bounds the number of rounds (default n+2).
+	Horizon sim.Round
+}
+
+// Runtime executes processes concurrently in lockstep rounds.
+type Runtime struct {
+	cfg   Config
+	procs []sim.Process
+	adv   sim.Adversary
+
+	advMu sync.Mutex
+	// mat[i][j] is the channel from p_{i+1} to p_{j+1}.
+	mat [][]chan sim.Message
+}
+
+// sendReport is a worker's account of its send phase.
+type sendReport struct {
+	id      sim.ProcID
+	crashed bool
+	err     error
+	ctr     metrics.Counters
+}
+
+// recvReport is a worker's account of its receive phase.
+type recvReport struct {
+	id      sim.ProcID
+	decided bool
+	value   sim.Value
+	halted  bool
+}
+
+// worker is the per-process goroutine state.
+type worker struct {
+	proc  sim.Process
+	start chan sim.Round
+	sent  chan sendReport
+	recv  chan struct{}
+	done  chan recvReport
+	quit  chan struct{} // closed by the driver on abnormal termination
+}
+
+// New builds a runtime over the given processes (ids 1..n in order).
+func New(cfg Config, procs []sim.Process, adv sim.Adversary) (*Runtime, error) {
+	if len(procs) == 0 {
+		return nil, errors.New("lockstep: no processes")
+	}
+	for i, p := range procs {
+		if p.ID() != sim.ProcID(i+1) {
+			return nil, fmt.Errorf("lockstep: process at index %d has id %d, want %d", i, p.ID(), i+1)
+		}
+	}
+	if adv == nil {
+		return nil, errors.New("lockstep: nil adversary")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = sim.Round(len(procs) + 2)
+	}
+	n := len(procs)
+	mat := make([][]chan sim.Message, n)
+	for i := range mat {
+		mat[i] = make([]chan sim.Message, n)
+		for j := range mat[i] {
+			if i != j {
+				// One data + one control message per channel per round.
+				mat[i][j] = make(chan sim.Message, 2)
+			}
+		}
+	}
+	return &Runtime{cfg: cfg, procs: procs, adv: adv, mat: mat}, nil
+}
+
+// consult serializes adversary access across worker goroutines.
+func (rt *Runtime) consult(p sim.ProcID, r sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome) {
+	rt.advMu.Lock()
+	defer rt.advMu.Unlock()
+	return rt.adv.Crashes(p, r, plan)
+}
+
+// run is the worker goroutine body.
+func (rt *Runtime) run(w *worker) {
+	id := w.proc.ID()
+	n := len(rt.procs)
+	for r := range w.start {
+		plan := w.proc.Send(r)
+		rep := sendReport{id: id}
+		if rt.cfg.Model == sim.ModelClassic && len(plan.Control) > 0 {
+			rep.err = fmt.Errorf("%w (process p%d, round %d)", sim.ErrControlInClassic, id, r)
+			w.sent <- rep
+			return
+		}
+		if err := sim.ValidatePlan(id, n, plan); err != nil {
+			rep.err = fmt.Errorf("%v (round %d)", err, r)
+			w.sent <- rep
+			return
+		}
+		// The capacity-2 channels encode the model's per-round channel
+		// discipline; reject plans that would overflow (and deadlock).
+		perDest := map[sim.ProcID]int{}
+		for _, o := range plan.Data {
+			perDest[o.To]++
+		}
+		for _, to := range plan.Control {
+			perDest[to]++
+		}
+		for to, cnt := range perDest {
+			if cnt > 2 {
+				rep.err = fmt.Errorf("lockstep: p%d sends %d messages to p%d in round %d (channel capacity 2)",
+					id, cnt, to, r)
+				w.sent <- rep
+				return
+			}
+		}
+		crash, outcome := rt.consult(id, r, plan)
+		if crash && !outcome.ValidFor(plan) {
+			rep.err = fmt.Errorf("%w (process p%d, round %d)", sim.ErrBadOutcome, id, r)
+			w.sent <- rep
+			return
+		}
+		if !crash {
+			outcome = sim.FullDelivery(plan)
+		}
+		// Data sending step: the escaped subset goes out in plan order.
+		for i, o := range plan.Data {
+			if !outcome.DataDelivered[i] {
+				rep.ctr.DroppedData++
+				continue
+			}
+			m := sim.Message{From: id, To: o.To, Round: r, Kind: sim.Data, Payload: o.Payload}
+			rt.mat[id-1][o.To-1] <- m
+			rep.ctr.AddData(m.Bits())
+		}
+		// Control sending step, immediately after, in the prescribed order;
+		// a crash lets exactly a prefix escape.
+		for i, to := range plan.Control {
+			if i >= outcome.CtrlPrefix {
+				rep.ctr.DroppedCtrl++
+				continue
+			}
+			rt.mat[id-1][to-1] <- sim.Message{From: id, To: to, Round: r, Kind: sim.Control}
+			rep.ctr.AddCtrl()
+		}
+		rep.crashed = crash
+		w.sent <- rep
+		if crash {
+			return // the crash: this goroutine is gone forever
+		}
+
+		select {
+		case <-w.recv: // barrier: all round-r messages are now in the channels
+		case <-w.quit: // the driver aborted the run
+			return
+		}
+		inbox := rt.drain(id)
+		sort.SliceStable(inbox, func(i, j int) bool {
+			if inbox[i].From != inbox[j].From {
+				return inbox[i].From < inbox[j].From
+			}
+			return inbox[i].Kind < inbox[j].Kind
+		})
+		w.proc.Receive(r, inbox)
+		v, dec := w.proc.Decided()
+		halted := w.proc.Halted()
+		w.done <- recvReport{id: id, decided: dec, value: v, halted: halted}
+		if halted {
+			return // the protocol returned
+		}
+	}
+}
+
+// drain empties every incoming channel of process id (non-blocking: all
+// senders have completed their send phase).
+func (rt *Runtime) drain(id sim.ProcID) []sim.Message {
+	var inbox []sim.Message
+	for i := range rt.procs {
+		ch := rt.mat[i][id-1]
+		if ch == nil {
+			continue
+		}
+		for {
+			select {
+			case m := <-ch:
+				inbox = append(inbox, m)
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+	return inbox
+}
+
+// Run executes the system until every alive process halts, the horizon is
+// reached, or a model violation occurs.
+func (rt *Runtime) Run() (*sim.Result, error) {
+	n := len(rt.procs)
+	workers := make([]*worker, n)
+	quit := make(chan struct{})
+	for i, p := range rt.procs {
+		w := &worker{
+			proc:  p,
+			start: make(chan sim.Round),
+			sent:  make(chan sendReport, 1),
+			recv:  make(chan struct{}),
+			done:  make(chan recvReport, 1),
+			quit:  quit,
+		}
+		workers[i] = w
+		go rt.run(w)
+	}
+	defer func() {
+		close(quit)
+		for _, w := range workers {
+			close(w.start)
+		}
+	}()
+
+	res := &sim.Result{
+		Decisions:   map[sim.ProcID]sim.Value{},
+		DecideRound: map[sim.ProcID]sim.Round{},
+		Crashed:     map[sim.ProcID]sim.Round{},
+	}
+	alive := make(map[sim.ProcID]bool, n)
+	halted := map[sim.ProcID]bool{}
+	for _, p := range rt.procs {
+		alive[p.ID()] = true
+	}
+	active := func() []*worker {
+		var ws []*worker
+		for _, w := range workers {
+			id := w.proc.ID()
+			if alive[id] && !halted[id] {
+				ws = append(ws, w)
+			}
+		}
+		return ws
+	}
+
+	var r sim.Round
+	for r = 1; r <= rt.cfg.Horizon; r++ {
+		ws := active()
+		if len(ws) == 0 {
+			r--
+			break
+		}
+		// Send phase (concurrent across workers).
+		for _, w := range ws {
+			w.start <- r
+		}
+		crashedNow := map[sim.ProcID]bool{}
+		var firstErr error
+		for _, w := range ws {
+			rep := <-w.sent
+			res.Counters.Merge(rep.ctr)
+			if rep.err != nil && firstErr == nil {
+				firstErr = rep.err
+			}
+			if rep.crashed {
+				alive[rep.id] = false
+				res.Crashed[rep.id] = r
+				crashedNow[rep.id] = true
+			}
+		}
+		if firstErr != nil {
+			res.Counters.Rounds = int(r)
+			res.Rounds = r
+			return res, firstErr
+		}
+		// Receive phase (concurrent across surviving workers).
+		var receivers []*worker
+		for _, w := range ws {
+			if id := w.proc.ID(); alive[id] && !crashedNow[id] {
+				receivers = append(receivers, w)
+			}
+		}
+		for _, w := range receivers {
+			w.recv <- struct{}{}
+		}
+		for _, w := range receivers {
+			rep := <-w.done
+			if rep.decided {
+				if _, seen := res.Decisions[rep.id]; !seen {
+					res.Decisions[rep.id] = rep.value
+					res.DecideRound[rep.id] = r
+				}
+			}
+			if rep.halted {
+				halted[rep.id] = true
+			}
+		}
+		// Drain channels of processes that died or halted so capacity-2
+		// buffers can never block a future sender.
+		for id, a := range alive {
+			if !a || halted[id] {
+				rt.drain(id)
+			}
+		}
+		if len(active()) == 0 {
+			break
+		}
+	}
+	if r > rt.cfg.Horizon {
+		r = rt.cfg.Horizon
+		if len(active()) != 0 {
+			res.Rounds = r
+			res.Counters.Rounds = int(r)
+			return res, sim.ErrNoProgress
+		}
+	}
+	res.Rounds = r
+	res.Counters.Rounds = int(r)
+	return res, nil
+}

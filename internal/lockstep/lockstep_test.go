@@ -1,0 +1,212 @@
+package lockstep_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/consensus/earlystop"
+	"repro/internal/consensus/floodset"
+	"repro/internal/core"
+	"repro/internal/lockstep"
+	"repro/internal/sim"
+)
+
+func props(n int) []sim.Value {
+	vs := make([]sim.Value, n)
+	for i := range vs {
+		vs[i] = sim.Value(100 + i)
+	}
+	return vs
+}
+
+// buildSystem constructs a fresh protocol instance by name.
+func buildSystem(t *testing.T, kind string, pr []sim.Value) ([]sim.Process, sim.Model) {
+	t.Helper()
+	n := len(pr)
+	switch kind {
+	case "crw":
+		return core.NewSystem(pr, core.Options{}), sim.ModelExtended
+	case "floodset":
+		return floodset.NewSystem(pr, n-1, 64), sim.ModelClassic
+	case "earlystop":
+		return earlystop.NewSystem(pr, n-1, 64), sim.ModelClassic
+	default:
+		t.Fatalf("unknown protocol %q", kind)
+		return nil, 0
+	}
+}
+
+// adversaries returns a fresh instance of each deterministic (order
+// insensitive) adversary scenario.
+func adversaries(n int) map[string]func() sim.Adversary {
+	return map[string]func() sim.Adversary{
+		"none": func() sim.Adversary { return adversary.None{} },
+		"coordkiller-silent": func() sim.Adversary {
+			return adversary.CoordinatorKiller{F: 2}
+		},
+		"coordkiller-data": func() sim.Adversary {
+			return adversary.CoordinatorKiller{F: 2, DeliverAllData: true}
+		},
+		"script-prefix": func() sim.Adversary {
+			return adversary.NewScript(map[sim.ProcID]adversary.CrashPlan{
+				1: {Round: 1, DeliverAllData: true, CtrlPrefix: 1},
+				3: {Round: 2, DeliverAllData: true, CtrlPrefix: adversary.CtrlAll},
+			})
+		},
+		"script-subset": func() sim.Adversary {
+			return adversary.NewScript(map[sim.ProcID]adversary.CrashPlan{
+				2: {Round: 1, DataMask: []bool{true, false, true}},
+			})
+		},
+	}
+}
+
+func TestLockstepMatchesDeterministicEngine(t *testing.T) {
+	// Cross-validation: for every protocol and deterministic adversary, the
+	// goroutine runtime and the deterministic engine must agree on rounds,
+	// decisions, decide rounds, crash sets, and transmitted message counts.
+	const n = 5
+	for _, kind := range []string{"crw", "floodset", "earlystop"} {
+		for name, mkAdv := range adversaries(n) {
+			t.Run(fmt.Sprintf("%s/%s", kind, name), func(t *testing.T) {
+				pr := props(n)
+
+				procs1, model := buildSystem(t, kind, pr)
+				eng, err := sim.NewEngine(sim.Config{Model: model, Horizon: n + 2}, procs1, mkAdv())
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := eng.Run()
+				if err != nil {
+					t.Fatalf("deterministic engine: %v", err)
+				}
+
+				procs2, _ := buildSystem(t, kind, pr)
+				rt, err := lockstep.New(lockstep.Config{Model: model, Horizon: n + 2}, procs2, mkAdv())
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := rt.Run()
+				if err != nil {
+					t.Fatalf("lockstep runtime: %v", err)
+				}
+
+				if got.Rounds != want.Rounds {
+					t.Errorf("rounds: lockstep %d vs engine %d", got.Rounds, want.Rounds)
+				}
+				if len(got.Decisions) != len(want.Decisions) {
+					t.Errorf("deciders: lockstep %v vs engine %v", got.Decisions, want.Decisions)
+				}
+				for id, v := range want.Decisions {
+					if got.Decisions[id] != v {
+						t.Errorf("p%d decision: lockstep %d vs engine %d", id, int64(got.Decisions[id]), int64(v))
+					}
+					if got.DecideRound[id] != want.DecideRound[id] {
+						t.Errorf("p%d decide round: lockstep %d vs engine %d",
+							id, got.DecideRound[id], want.DecideRound[id])
+					}
+				}
+				for id, r := range want.Crashed {
+					if got.Crashed[id] != r {
+						t.Errorf("p%d crash round: lockstep %d vs engine %d", id, got.Crashed[id], r)
+					}
+				}
+				if got.Counters.DataMsgs != want.Counters.DataMsgs ||
+					got.Counters.CtrlMsgs != want.Counters.CtrlMsgs ||
+					got.Counters.DataBits != want.Counters.DataBits ||
+					got.Counters.CtrlBits != want.Counters.CtrlBits {
+					t.Errorf("counters: lockstep %s vs engine %s", got.Counters.String(), want.Counters.String())
+				}
+			})
+		}
+	}
+}
+
+func TestLockstepConsensusUnderManyScriptedFaults(t *testing.T) {
+	// Sweep scripted crash schedules (deterministic, order-insensitive) and
+	// validate consensus through the goroutine runtime.
+	const n = 6
+	for f := 0; f <= n-1; f++ {
+		pr := props(n)
+		procs := core.NewSystem(pr, core.Options{})
+		rt, err := lockstep.New(lockstep.Config{Model: sim.ModelExtended}, procs,
+			adversary.CoordinatorKiller{F: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run()
+		if err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+		if err := check.Consensus(pr, res); err != nil {
+			t.Errorf("f=%d: %v", f, err)
+		}
+		if got, want := res.MaxDecideRound(), sim.Round(f+1); got != want {
+			t.Errorf("f=%d: max decide round %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestLockstepRejectsControlUnderClassic(t *testing.T) {
+	pr := props(3)
+	procs := core.NewSystem(pr, core.Options{}) // emits control messages
+	rt, err := lockstep.New(lockstep.Config{Model: sim.ModelClassic}, procs, adversary.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.Run()
+	if !errors.Is(err, sim.ErrControlInClassic) {
+		t.Fatalf("err = %v, want ErrControlInClassic", err)
+	}
+}
+
+func TestLockstepConstructorValidation(t *testing.T) {
+	if _, err := lockstep.New(lockstep.Config{}, nil, adversary.None{}); err == nil {
+		t.Error("accepted zero processes")
+	}
+	pr := props(3)
+	if _, err := lockstep.New(lockstep.Config{}, core.NewSystem(pr, core.Options{}), nil); err == nil {
+		t.Error("accepted nil adversary")
+	}
+}
+
+func TestLockstepHorizonExhaustion(t *testing.T) {
+	// Kill every coordinator: with t = n-1 = f all processes crash... use
+	// n-1 crashes so p_n survives; horizon 1 is then too short for f >= 1.
+	pr := props(4)
+	procs := core.NewSystem(pr, core.Options{})
+	rt, err := lockstep.New(lockstep.Config{Model: sim.ModelExtended, Horizon: 1}, procs,
+		adversary.CoordinatorKiller{F: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.Run()
+	if !errors.Is(err, sim.ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+}
+
+func TestLockstepManyProcesses(t *testing.T) {
+	// A larger system exercises real goroutine concurrency.
+	const n = 64
+	pr := props(n)
+	procs := core.NewSystem(pr, core.Options{})
+	rt, err := lockstep.New(lockstep.Config{Model: sim.ModelExtended}, procs,
+		adversary.CoordinatorKiller{F: 5, DeliverAllData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.Consensus(pr, res); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.MaxDecideRound(), sim.Round(6); got != want {
+		t.Errorf("max decide round = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,72 @@
+// Package metrics provides counters for communication and time costs of
+// simulated distributed executions.
+//
+// The accounting rules follow the paper's Theorem 2: a data message carrying a
+// b-bit proposal costs b bits, a control (synchronization) message costs one
+// bit, and the cost of an execution is the sum over messages that were
+// actually transmitted (a message truncated by a crash before it left the
+// sender costs nothing).
+package metrics
+
+import "fmt"
+
+// Counters accumulates communication costs of one execution.
+//
+// The zero value is ready to use.
+type Counters struct {
+	// DataMsgs is the number of data messages actually transmitted.
+	DataMsgs int
+	// CtrlMsgs is the number of control (synchronization) messages actually
+	// transmitted.
+	CtrlMsgs int
+	// DataBits is the total payload size of transmitted data messages in bits.
+	DataBits int
+	// CtrlBits is the total size of transmitted control messages in bits
+	// (one bit each, per the paper's footnote 7).
+	CtrlBits int
+	// DroppedData counts data messages suppressed by a crash during the data
+	// sending step.
+	DroppedData int
+	// DroppedCtrl counts control messages suppressed by a crash during the
+	// control sending step (the suffix that never left the sender).
+	DroppedCtrl int
+	// Rounds is the number of rounds the execution lasted.
+	Rounds int
+}
+
+// TotalMsgs returns the number of messages of either kind that were
+// transmitted.
+func (c *Counters) TotalMsgs() int { return c.DataMsgs + c.CtrlMsgs }
+
+// TotalBits returns the total number of bits transmitted.
+func (c *Counters) TotalBits() int { return c.DataBits + c.CtrlBits }
+
+// AddData records one transmitted data message of the given payload size.
+func (c *Counters) AddData(bits int) {
+	c.DataMsgs++
+	c.DataBits += bits
+}
+
+// AddCtrl records one transmitted control message (one bit).
+func (c *Counters) AddCtrl() {
+	c.CtrlMsgs++
+	c.CtrlBits++
+}
+
+// Merge adds the counts of other into c.
+func (c *Counters) Merge(other Counters) {
+	c.DataMsgs += other.DataMsgs
+	c.CtrlMsgs += other.CtrlMsgs
+	c.DataBits += other.DataBits
+	c.CtrlBits += other.CtrlBits
+	c.DroppedData += other.DroppedData
+	c.DroppedCtrl += other.DroppedCtrl
+	c.Rounds += other.Rounds
+}
+
+// String renders the counters in a compact single-line form.
+func (c *Counters) String() string {
+	return fmt.Sprintf("rounds=%d data=%d(%db) ctrl=%d(%db) dropped=%d/%d",
+		c.Rounds, c.DataMsgs, c.DataBits, c.CtrlMsgs, c.CtrlBits,
+		c.DroppedData, c.DroppedCtrl)
+}

@@ -1,0 +1,67 @@
+package metrics_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var c metrics.Counters
+	if c.TotalMsgs() != 0 || c.TotalBits() != 0 {
+		t.Error("zero value not empty")
+	}
+}
+
+func TestAddDataAndCtrl(t *testing.T) {
+	var c metrics.Counters
+	c.AddData(64)
+	c.AddData(8)
+	c.AddCtrl()
+	if c.DataMsgs != 2 || c.DataBits != 72 {
+		t.Errorf("data = %d msgs / %d bits, want 2/72", c.DataMsgs, c.DataBits)
+	}
+	if c.CtrlMsgs != 1 || c.CtrlBits != 1 {
+		t.Errorf("ctrl = %d msgs / %d bits, want 1/1", c.CtrlMsgs, c.CtrlBits)
+	}
+	if c.TotalMsgs() != 3 || c.TotalBits() != 73 {
+		t.Errorf("totals = %d msgs / %d bits, want 3/73", c.TotalMsgs(), c.TotalBits())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := metrics.Counters{DataMsgs: 1, CtrlMsgs: 2, DataBits: 10, CtrlBits: 2,
+		DroppedData: 3, DroppedCtrl: 4, Rounds: 5}
+	b := metrics.Counters{DataMsgs: 10, CtrlMsgs: 20, DataBits: 100, CtrlBits: 20,
+		DroppedData: 30, DroppedCtrl: 40, Rounds: 50}
+	a.Merge(b)
+	want := metrics.Counters{DataMsgs: 11, CtrlMsgs: 22, DataBits: 110, CtrlBits: 22,
+		DroppedData: 33, DroppedCtrl: 44, Rounds: 55}
+	if a != want {
+		t.Errorf("merged = %+v, want %+v", a, want)
+	}
+}
+
+func TestMergeCommutesOnTotals(t *testing.T) {
+	f := func(a, b metrics.Counters) bool {
+		x, y := a, b
+		x.Merge(b)
+		y.Merge(a)
+		return x.TotalMsgs() == y.TotalMsgs() && x.TotalBits() == y.TotalBits()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := metrics.Counters{Rounds: 3, DataMsgs: 2, DataBits: 128, CtrlMsgs: 4, CtrlBits: 4}
+	s := c.String()
+	for _, want := range []string{"rounds=3", "data=2(128b)", "ctrl=4(4b)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q lacks %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Errors returned by the engine.
+var (
+	// ErrControlInClassic is returned when a protocol emits control messages
+	// under ModelClassic, which has no second sending step.
+	ErrControlInClassic = errors.New("sim: control message emitted under the classic model")
+	// ErrNoProgress is returned when the horizon is reached with undecided
+	// alive processes.
+	ErrNoProgress = errors.New("sim: horizon reached before all alive processes decided")
+	// ErrBadOutcome is returned when an adversary produces a malformed crash
+	// outcome (wrong subset length or out-of-range prefix).
+	ErrBadOutcome = errors.New("sim: adversary returned malformed crash outcome")
+	// ErrHaltedWithoutDecision is returned when a process reports Halted
+	// without having decided, which no correct protocol may do.
+	ErrHaltedWithoutDecision = errors.New("sim: process halted without deciding")
+)
+
+// Config configures an execution of the synchronous engine.
+type Config struct {
+	// Model selects classic or extended semantics.
+	Model Model
+	// Horizon bounds the number of rounds; the run fails with ErrNoProgress
+	// if some alive process has not decided by then. Use at least t+1 for the
+	// classic algorithms and f+2 for the paper's algorithm. Zero defaults to
+	// n + 2.
+	Horizon Round
+	// Trace, if non-nil, receives the execution transcript.
+	Trace *trace.Log
+	// Loss, if non-nil, makes channels unreliable: a transmitted message for
+	// which Loss returns true silently vanishes. The paper's model assumes
+	// reliable channels (Section 2.1) and argues it is NOT meant for lossy
+	// networks; this hook exists solely for the ablation experiment that
+	// demonstrates why — under loss the algorithm's agreement and
+	// termination guarantees collapse.
+	Loss func(m Message) bool
+}
+
+// Result summarizes a finished execution.
+type Result struct {
+	// Rounds is the number of rounds executed until every alive process
+	// halted (or horizon, on error).
+	Rounds Round
+	// Decisions maps every process that decided — including processes that
+	// crashed after deciding — to its decision value. Uniform agreement is a
+	// property of this whole map.
+	Decisions map[ProcID]Value
+	// DecideRound maps each decided process to the round it decided in.
+	DecideRound map[ProcID]Round
+	// Crashed maps each crashed process to the round it crashed in.
+	Crashed map[ProcID]Round
+	// Counters holds the communication cost of the run.
+	Counters metrics.Counters
+}
+
+// Faults returns the number of crashes that occurred in the run (the paper's
+// f).
+func (r *Result) Faults() int { return len(r.Crashed) }
+
+// MaxDecideRound returns the latest round at which some process decided, or 0
+// if nobody decided.
+func (r *Result) MaxDecideRound() Round {
+	var max Round
+	for _, rd := range r.DecideRound {
+		if rd > max {
+			max = rd
+		}
+	}
+	return max
+}
+
+// DistinctDecisions returns the sorted set of distinct decided values.
+func (r *Result) DistinctDecisions() []Value {
+	seen := map[Value]bool{}
+	for _, v := range r.Decisions {
+		seen[v] = true
+	}
+	out := make([]Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Engine executes a set of processes under an adversary in lockstep rounds.
+type Engine struct {
+	cfg   Config
+	procs []Process
+	adv   Adversary
+
+	alive   map[ProcID]bool
+	halted  map[ProcID]bool
+	decided map[ProcID]Value
+	decRnd  map[ProcID]Round
+	crashed map[ProcID]Round
+	inbox   map[ProcID][]Message
+	ctr     metrics.Counters
+}
+
+// NewEngine builds an engine over the given processes. Process IDs must be
+// the contiguous range 1..n in order.
+func NewEngine(cfg Config, procs []Process, adv Adversary) (*Engine, error) {
+	if len(procs) == 0 {
+		return nil, errors.New("sim: no processes")
+	}
+	for i, p := range procs {
+		if p.ID() != ProcID(i+1) {
+			return nil, fmt.Errorf("sim: process at index %d has id %d, want %d", i, p.ID(), i+1)
+		}
+	}
+	if adv == nil {
+		return nil, errors.New("sim: nil adversary")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = Round(len(procs) + 2)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		procs:   procs,
+		adv:     adv,
+		alive:   make(map[ProcID]bool, len(procs)),
+		halted:  make(map[ProcID]bool),
+		decided: make(map[ProcID]Value),
+		decRnd:  make(map[ProcID]Round),
+		crashed: make(map[ProcID]Round),
+		inbox:   make(map[ProcID][]Message),
+	}
+	for _, p := range procs {
+		e.alive[p.ID()] = true
+	}
+	return e, nil
+}
+
+// N returns the number of processes.
+func (e *Engine) N() int { return len(e.procs) }
+
+// Run executes rounds until every alive process has halted, the horizon is
+// reached, or a model violation occurs. It returns the result in all cases;
+// the result is partial when err != nil.
+func (e *Engine) Run() (*Result, error) {
+	var r Round
+	var runErr error
+	for r = 1; r <= e.cfg.Horizon; r++ {
+		if e.allQuiet() {
+			r--
+			break
+		}
+		if err := e.round(r); err != nil {
+			runErr = err
+			break
+		}
+		if e.allQuiet() {
+			break
+		}
+	}
+	if r > e.cfg.Horizon {
+		r = e.cfg.Horizon
+		if runErr == nil && !e.allQuiet() {
+			runErr = ErrNoProgress
+		}
+	}
+	res := &Result{
+		Rounds:      r,
+		Decisions:   e.decided,
+		DecideRound: e.decRnd,
+		Crashed:     e.crashed,
+		Counters:    e.ctr,
+	}
+	res.Counters.Rounds = int(r)
+	return res, runErr
+}
+
+// allQuiet reports whether every alive process has halted.
+func (e *Engine) allQuiet() bool {
+	for id, a := range e.alive {
+		if a && !e.halted[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// round executes one round: send phase (both steps, with crash truncation),
+// delivery, then receive/compute phase.
+func (e *Engine) round(r Round) error {
+	// Send phase. Collect deliveries first; all messages sent in round r are
+	// received in round r, after every sender has executed its send phase.
+	crashedNow := map[ProcID]bool{}
+	for _, p := range e.procs {
+		id := p.ID()
+		if !e.alive[id] || e.halted[id] {
+			continue
+		}
+		plan := p.Send(r)
+		if e.cfg.Model == ModelClassic && len(plan.Control) > 0 {
+			return fmt.Errorf("%w (process p%d, round %d)", ErrControlInClassic, id, r)
+		}
+		if err := ValidatePlan(id, len(e.procs), plan); err != nil {
+			return fmt.Errorf("%v (round %d)", err, r)
+		}
+		crash, outcome := e.adv.Crashes(id, r, plan)
+		if crash {
+			if !outcome.ValidFor(plan) {
+				return fmt.Errorf("%w (process p%d, round %d)", ErrBadOutcome, id, r)
+			}
+			e.alive[id] = false
+			e.crashed[id] = r
+			crashedNow[id] = true
+			e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindCrash, From: int(id),
+				Detail: fmt.Sprintf("during send (data %s, ctrl prefix %d/%d)",
+					subsetString(outcome.DataDelivered), outcome.CtrlPrefix, len(plan.Control))})
+			e.emit(id, r, plan, outcome)
+			continue
+		}
+		e.emit(id, r, plan, FullDelivery(plan))
+	}
+
+	// Receive + compute phase. Crashed processes (including those that
+	// crashed this round) receive nothing.
+	for _, p := range e.procs {
+		id := p.ID()
+		if !e.alive[id] || e.halted[id] || crashedNow[id] {
+			continue
+		}
+		in := e.inbox[id]
+		delete(e.inbox, id)
+		sortInbox(in)
+		p.Receive(r, in)
+		if v, ok := p.Decided(); ok {
+			if _, seen := e.decided[id]; !seen {
+				e.decided[id] = v
+				e.decRnd[id] = r
+				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDecide,
+					From: int(id), Detail: fmt.Sprintf("value %d", int64(v))})
+			}
+		}
+		if p.Halted() {
+			if _, ok := e.decided[id]; !ok {
+				return fmt.Errorf("%w (process p%d, round %d)", ErrHaltedWithoutDecision, id, r)
+			}
+			if !e.halted[id] {
+				e.halted[id] = true
+				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindHalt, From: int(id)})
+			}
+		}
+	}
+	// Messages addressed to processes that crashed this round are dropped.
+	for id := range crashedNow {
+		delete(e.inbox, id)
+	}
+	return nil
+}
+
+// emit applies a (possibly truncating) crash outcome to a send plan, queueing
+// the surviving messages for delivery and accounting costs.
+func (e *Engine) emit(from ProcID, r Round, plan SendPlan, out CrashOutcome) {
+	for i, o := range plan.Data {
+		m := Message{From: from, To: o.To, Round: r, Kind: Data, Payload: o.Payload}
+		if !out.DataDelivered[i] {
+			e.ctr.DroppedData++
+			e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDrop,
+				From: int(from), To: int(o.To), Detail: "data"})
+			continue
+		}
+		e.ctr.AddData(m.Bits())
+		e.deliver(m)
+	}
+	for i, to := range plan.Control {
+		if i >= out.CtrlPrefix {
+			e.ctr.DroppedCtrl++
+			e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDrop,
+				From: int(from), To: int(to), Detail: "control"})
+			continue
+		}
+		m := Message{From: from, To: to, Round: r, Kind: Control}
+		e.ctr.AddCtrl()
+		e.deliver(m)
+	}
+}
+
+// deliver queues a message for the destination's receive phase of the current
+// round. Messages to already-crashed processes vanish, as do messages the
+// lossy-channel hook (ablation only) decides to drop.
+func (e *Engine) deliver(m Message) {
+	e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindSend,
+		From: int(m.From), To: int(m.To), Detail: m.Kind.String()})
+	if e.cfg.Loss != nil && e.cfg.Loss(m) {
+		e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindDrop,
+			From: int(m.From), To: int(m.To), Detail: m.Kind.String() + " (channel loss)"})
+		if m.Kind == Control {
+			e.ctr.DroppedCtrl++
+		} else {
+			e.ctr.DroppedData++
+		}
+		return
+	}
+	if !e.alive[m.To] {
+		return
+	}
+	e.inbox[m.To] = append(e.inbox[m.To], m)
+	e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindDeliver,
+		From: int(m.From), To: int(m.To), Detail: m.Kind.String()})
+}
+
+// sortInbox orders an inbox deterministically: by sender, data before
+// control. Protocol behaviour must not depend on the order, but determinism
+// keeps executions reproducible bit-for-bit.
+func sortInbox(in []Message) {
+	sort.SliceStable(in, func(i, j int) bool {
+		if in[i].From != in[j].From {
+			return in[i].From < in[j].From
+		}
+		return in[i].Kind < in[j].Kind
+	})
+}
+
+// subsetString renders a delivered-subset mask compactly, e.g. "{1,3}/4".
+func subsetString(mask []bool) string {
+	s := "{"
+	first := true
+	for i, b := range mask {
+		if !b {
+			continue
+		}
+		if !first {
+			s += ","
+		}
+		s += fmt.Sprint(i + 1)
+		first = false
+	}
+	return fmt.Sprintf("%s}/%d", s, len(mask))
+}

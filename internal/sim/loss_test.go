@@ -1,0 +1,94 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// These tests cover the lossy-channel ablation hook (Config.Loss). The
+// paper's model explicitly assumes reliable channels; the hook exists to
+// demonstrate that assumption is load-bearing (experiment E14).
+
+func TestLossHookDropsSelectedMessages(t *testing.T) {
+	procs := echoSystem(3, false, 1)
+	lost := 0
+	e := mustEngine(t, sim.Config{Model: sim.ModelClassic, Loss: func(m sim.Message) bool {
+		if m.From == 1 {
+			lost++
+			return true
+		}
+		return false
+	}}, procs, adversary.None{})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if lost != 2 {
+		t.Errorf("lost = %d, want 2 (both of p1's messages)", lost)
+	}
+	// p1's value 1 never escaped: p2 and p3 decide min of {2,3}.
+	if v := res.Decisions[2]; v != 2 {
+		t.Errorf("p2 decided %d, want 2", int64(v))
+	}
+	if res.Counters.DroppedData != 2 {
+		t.Errorf("dropped data = %d, want 2", res.Counters.DroppedData)
+	}
+	// p1 itself still decides its own value: loss breaks agreement even in
+	// this toy protocol.
+	if v := res.Decisions[1]; v != 1 {
+		t.Errorf("p1 decided %d, want 1", int64(v))
+	}
+}
+
+func TestLossBreaksCRWAgreementWithoutCrashes(t *testing.T) {
+	// The E14 counterexample in unit-test form: lose exactly the DATA from
+	// p1 to p2 while the pipelined COMMIT survives. p2 commits its stale
+	// estimate; everyone else commits p1's. Zero crashes.
+	props := []sim.Value{10, 11, 12}
+	procs := core.NewSystem(props, core.Options{})
+	eng, err := sim.NewEngine(sim.Config{Model: sim.ModelExtended, Horizon: 5,
+		Loss: func(m sim.Message) bool {
+			return m.Kind == sim.Data && m.From == 1 && m.To == 2
+		}}, procs, adversary.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Faults() != 0 {
+		t.Fatalf("faults = %d, want 0", res.Faults())
+	}
+	if got := res.DistinctDecisions(); len(got) != 2 {
+		t.Fatalf("distinct decisions = %v, want an agreement violation", got)
+	}
+	if res.Decisions[2] != 11 {
+		t.Errorf("p2 decided %d, want its stale proposal 11", int64(res.Decisions[2]))
+	}
+	if res.Decisions[3] != 10 {
+		t.Errorf("p3 decided %d, want p1's 10", int64(res.Decisions[3]))
+	}
+}
+
+func TestNilLossIsReliable(t *testing.T) {
+	props := []sim.Value{10, 11, 12}
+	procs := core.NewSystem(props, core.Options{})
+	eng, err := sim.NewEngine(sim.Config{Model: sim.ModelExtended}, procs, adversary.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DistinctDecisions()) != 1 {
+		t.Fatalf("reliable run disagreed: %v", res.Decisions)
+	}
+	if res.Counters.DroppedData != 0 || res.Counters.DroppedCtrl != 0 {
+		t.Error("reliable run dropped messages")
+	}
+}

@@ -1,0 +1,128 @@
+package sim_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// mkPlan builds a plan from fuzz inputs: data destinations and control
+// destinations drawn from raw bytes over a system of size n.
+func mkPlan(n int, dataRaw, ctrlRaw []uint8) sim.SendPlan {
+	var plan sim.SendPlan
+	for _, d := range dataRaw {
+		plan.Data = append(plan.Data, sim.Outgoing{
+			To: sim.ProcID(int(d)%n + 1), Payload: sim.Est{V: 1, B: 8}})
+	}
+	seen := map[sim.ProcID]bool{}
+	for _, c := range ctrlRaw {
+		to := sim.ProcID(int(c)%n + 1)
+		if !seen[to] {
+			seen[to] = true
+			plan.Control = append(plan.Control, to)
+		}
+	}
+	return plan
+}
+
+func TestPropertyFullAndNoDeliveryAlwaysValid(t *testing.T) {
+	// FullDelivery and NoDelivery produce valid outcomes for every plan.
+	prop := func(nRaw uint8, dataRaw, ctrlRaw []uint8) bool {
+		n := int(nRaw%8) + 2
+		plan := mkPlan(n, dataRaw, ctrlRaw)
+		return sim.FullDelivery(plan).ValidFor(plan) && sim.NoDelivery(plan).ValidFor(plan)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPartialDataWithControlInvalid(t *testing.T) {
+	// Any outcome with a nonzero control prefix and at least one undelivered
+	// data message violates the single-crash-point rule and must be invalid.
+	prop := func(nRaw uint8, dataRaw, ctrlRaw []uint8, drop uint8) bool {
+		n := int(nRaw%8) + 2
+		plan := mkPlan(n, dataRaw, ctrlRaw)
+		if len(plan.Data) == 0 || len(plan.Control) == 0 {
+			return true
+		}
+		out := sim.FullDelivery(plan)
+		out.DataDelivered[int(drop)%len(plan.Data)] = false
+		out.CtrlPrefix = 1
+		return !out.ValidFor(plan)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOutOfRangePrefixInvalid(t *testing.T) {
+	prop := func(nRaw uint8, ctrlRaw []uint8) bool {
+		n := int(nRaw%8) + 2
+		plan := mkPlan(n, nil, ctrlRaw)
+		out := sim.FullDelivery(plan)
+		out.CtrlPrefix = len(plan.Control) + 1
+		if out.ValidFor(plan) {
+			return false
+		}
+		out.CtrlPrefix = -1
+		return !out.ValidFor(plan)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyValidatePlanCatchesBadDestinations(t *testing.T) {
+	// Self-sends and out-of-range destinations are always rejected; plans
+	// built from in-range non-self destinations always pass.
+	prop := func(nRaw, from uint8, dataRaw, ctrlRaw []uint8) bool {
+		n := int(nRaw%8) + 2
+		sender := sim.ProcID(int(from)%n + 1)
+		plan := mkPlan(n, dataRaw, ctrlRaw)
+		// Filter out self-sends so the plan is legal.
+		var data []sim.Outgoing
+		for _, o := range plan.Data {
+			if o.To != sender {
+				data = append(data, o)
+			}
+		}
+		var ctrl []sim.ProcID
+		for _, c := range plan.Control {
+			if c != sender {
+				ctrl = append(ctrl, c)
+			}
+		}
+		plan = sim.SendPlan{Data: data, Control: ctrl}
+		if sim.ValidatePlan(sender, n, plan) != nil {
+			return false
+		}
+		// Self-send rejected.
+		bad := plan
+		bad.Data = append(append([]sim.Outgoing(nil), plan.Data...),
+			sim.Outgoing{To: sender, Payload: sim.Est{V: 1, B: 8}})
+		if sim.ValidatePlan(sender, n, bad) == nil {
+			return false
+		}
+		// Out-of-range rejected.
+		bad2 := plan
+		bad2.Control = append(append([]sim.ProcID(nil), plan.Control...), sim.ProcID(n+1))
+		return sim.ValidatePlan(sender, n, bad2) != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDuplicateControlRejected(t *testing.T) {
+	prop := func(nRaw, to uint8) bool {
+		n := int(nRaw%8) + 3
+		dest := sim.ProcID(int(to)%(n-1) + 2) // never the sender p1
+		plan := sim.SendPlan{Control: []sim.ProcID{dest, dest}}
+		return sim.ValidatePlan(1, n, plan) != nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package simulate implements the mutual simulations of Section 2.2, which
+// establish that the extended synchronous model and the traditional
+// synchronous model have the same computability power.
+//
+// Classic on extended: trivial. A classic-model protocol never emits control
+// messages, so it runs unchanged under the extended model with identical
+// round counts (the engine accepts data-only plans in either model).
+//
+// Extended on classic: each extended round is expanded into 1 + (n-1) classic
+// micro rounds — one data micro round followed by one micro round per control
+// position. Sending each control message in its own micro round enforces the
+// prescribed sending order, and the classic crash rule then yields exactly
+// the extended model's semantics:
+//
+//   - a crash in the data micro round delivers an arbitrary subset of the
+//     data messages and no control message (nothing was sent yet in later
+//     micro rounds);
+//   - a crash in control micro round i delivers all data plus the control
+//     messages of micro rounds < i — a prefix of the ordered sequence — and,
+//     within micro round i itself, the arbitrary-subset rule applied to a
+//     single message means it is delivered or not.
+//
+// The cost is the round inflation the paper calls "non-efficient": a factor
+// of n (measured by experiment E6).
+package simulate
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Marker is the classic-model encoding of a control message: a one-bit data
+// payload. The wrapper converts it back into a Control-kind message before
+// handing it to the wrapped extended-model process.
+type Marker struct{}
+
+// Bits returns 1, the cost of a control message.
+func (Marker) Bits() int { return 1 }
+
+// String renders the marker.
+func (Marker) String() string { return "marker" }
+
+// Stride returns the number of classic micro rounds that one extended round
+// expands into for an n-process system: one data micro round plus one micro
+// round per possible control position (n-1).
+func Stride(n int) int { return n }
+
+// MacroRound converts a classic micro round number to the extended (macro)
+// round it belongs to.
+func MacroRound(micro sim.Round, n int) sim.Round {
+	if micro <= 0 {
+		return 0
+	}
+	return (micro-1)/sim.Round(Stride(n)) + 1
+}
+
+// MicroRounds returns the number of classic rounds needed to simulate r
+// extended rounds.
+func MicroRounds(r sim.Round, n int) sim.Round { return r * sim.Round(Stride(n)) }
+
+// OnClassic wraps extended-model processes so they run under the classic
+// model. The returned processes implement sim.Process for a classic-model
+// engine whose horizon must cover MicroRounds of the wrapped protocol's
+// horizon.
+func OnClassic(procs []sim.Process) []sim.Process {
+	n := len(procs)
+	out := make([]sim.Process, n)
+	for i, p := range procs {
+		out[i] = &wrapper{inner: p, n: n}
+	}
+	return out
+}
+
+// wrapper adapts one extended-model process to the classic model.
+type wrapper struct {
+	inner sim.Process
+	n     int
+
+	plan  sim.SendPlan  // the inner plan of the current macro round
+	inbox []sim.Message // buffered deliveries of the current macro round
+}
+
+// ID implements sim.Process.
+func (w *wrapper) ID() sim.ProcID { return w.inner.ID() }
+
+// phase returns the macro round and the phase within it: phase 0 is the data
+// micro round, phase i >= 1 carries control position i.
+func (w *wrapper) phase(micro sim.Round) (macro sim.Round, phase int) {
+	stride := sim.Round(Stride(w.n))
+	macro = (micro-1)/stride + 1
+	phase = int((micro - 1) % stride)
+	return macro, phase
+}
+
+// Send implements sim.Process for the classic engine.
+func (w *wrapper) Send(micro sim.Round) sim.SendPlan {
+	macro, phase := w.phase(micro)
+	if phase == 0 {
+		w.plan = w.inner.Send(macro)
+		w.inbox = w.inbox[:0]
+		return sim.SendPlan{Data: w.plan.Data}
+	}
+	idx := phase - 1
+	if idx >= len(w.plan.Control) {
+		return sim.SendPlan{}
+	}
+	return sim.SendPlan{Data: []sim.Outgoing{{To: w.plan.Control[idx], Payload: Marker{}}}}
+}
+
+// Receive implements sim.Process: it buffers micro-round deliveries and hands
+// the reconstructed extended-round inbox to the inner process at the end of
+// the macro round.
+func (w *wrapper) Receive(micro sim.Round, inbox []sim.Message) {
+	macro, phase := w.phase(micro)
+	for _, m := range inbox {
+		if _, ok := m.Payload.(Marker); ok {
+			w.inbox = append(w.inbox, sim.Message{
+				From: m.From, To: m.To, Round: macro, Kind: sim.Control,
+			})
+			continue
+		}
+		m.Round = macro
+		w.inbox = append(w.inbox, m)
+	}
+	if phase == Stride(w.n)-1 {
+		w.inner.Receive(macro, w.inbox)
+		w.inbox = nil
+	}
+}
+
+// Decided implements sim.Process.
+func (w *wrapper) Decided() (sim.Value, bool) { return w.inner.Decided() }
+
+// Halted implements sim.Process.
+func (w *wrapper) Halted() bool { return w.inner.Halted() }
+
+// String renders the wrapper.
+func (w *wrapper) String() string { return fmt.Sprintf("classic-sim(%v)", w.inner) }

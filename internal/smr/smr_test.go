@@ -1,0 +1,193 @@
+package smr_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/smr"
+)
+
+func TestFailureFreeOneRoundPerSlot(t *testing.T) {
+	res, err := smr.Run(smr.Config{N: 5, Slots: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smr.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRounds != 20 {
+		t.Errorf("total rounds = %d, want 20 (one per slot)", res.TotalRounds)
+	}
+	if got := res.RoundsPerCommit(); got != 1 {
+		t.Errorf("rounds/commit = %g, want 1", got)
+	}
+	// Every replica committed every slot, and slot s holds p1's command.
+	for id, log := range res.Logs {
+		if len(log) != 20 {
+			t.Errorf("replica %d log length %d, want 20", id, len(log))
+		}
+		for i, v := range log {
+			if want := smr.Command(i+1, 1); v != want {
+				t.Errorf("replica %d slot %d = %d, want %d", id, i+1, int64(v), int64(want))
+			}
+		}
+	}
+}
+
+func TestEarlyStopCostsTwoRoundsPerSlot(t *testing.T) {
+	res, err := smr.Run(smr.Config{N: 5, Slots: 10, Protocol: smr.ProtocolEarlyStop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smr.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.RoundsPerCommit(); got != 2 {
+		t.Errorf("rounds/commit = %g, want 2 (classic floor)", got)
+	}
+}
+
+func TestCrashMidLogKeepsConsistency(t *testing.T) {
+	// p1 dies during slot 3: slots 1–2 commit its commands in one round;
+	// slot 3 onwards p2 leads, costing one extra (wasted) round per slot.
+	res, err := smr.Run(smr.Config{N: 4, Slots: 6,
+		CrashDuringSlot: map[sim.ProcID]int{1: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smr.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed[1] != 3 {
+		t.Errorf("crash slot = %d, want 3", res.Crashed[1])
+	}
+	// p1's log is the 2-slot prefix.
+	if got := len(res.Logs[1]); got != 2 {
+		t.Errorf("dead replica log length = %d, want 2", got)
+	}
+	for _, id := range []sim.ProcID{2, 3, 4} {
+		if got := len(res.Logs[id]); got != 6 {
+			t.Errorf("replica %d log length = %d, want 6", id, got)
+		}
+	}
+	// Slots 1–2 committed p1's command, slots 3–6 p2's.
+	for i, want := range []sim.Value{
+		smr.Command(1, 1), smr.Command(2, 1),
+		smr.Command(3, 2), smr.Command(4, 2), smr.Command(5, 2), smr.Command(6, 2),
+	} {
+		if got := res.Logs[2][i]; got != want {
+			t.Errorf("slot %d = %d, want %d", i+1, int64(got), int64(want))
+		}
+	}
+	// Rounds: 1+1 (slots 1,2) + 4×2 (dead p1 wastes round 1) = 10.
+	if res.TotalRounds != 10 {
+		t.Errorf("total rounds = %d, want 10", res.TotalRounds)
+	}
+}
+
+func TestCascadingCrashes(t *testing.T) {
+	res, err := smr.Run(smr.Config{N: 5, Slots: 8,
+		CrashDuringSlot: map[sim.ProcID]int{1: 2, 2: 4, 3: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smr.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crashed) != 3 {
+		t.Errorf("crashed = %v, want 3 replicas", res.Crashed)
+	}
+	// Survivors committed all 8 slots.
+	for _, id := range []sim.ProcID{4, 5} {
+		if got := len(res.Logs[id]); got != 8 {
+			t.Errorf("replica %d log length = %d, want 8", id, got)
+		}
+	}
+}
+
+func TestAllReplicasDeadFails(t *testing.T) {
+	_, err := smr.Run(smr.Config{N: 2, Slots: 3,
+		CrashDuringSlot: map[sim.ProcID]int{1: 1, 2: 1}})
+	if err == nil {
+		t.Fatal("accepted a run with all replicas dead")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := smr.Run(smr.Config{N: 0, Slots: 1}); err == nil {
+		t.Error("accepted N=0")
+	}
+	if _, err := smr.Run(smr.Config{N: 3, Slots: 0}); err == nil {
+		t.Error("accepted Slots=0")
+	}
+}
+
+func TestThroughputAdvantage(t *testing.T) {
+	// The system-level payoff: over many slots the extended model commits
+	// twice as fast as the classic baseline in the failure-free case.
+	crw, err := smr.Run(smr.Config{N: 8, Slots: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := smr.Run(smr.Config{N: 8, Slots: 50, Protocol: smr.ProtocolEarlyStop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := es.RoundsPerCommit() / crw.RoundsPerCommit(); ratio != 2 {
+		t.Errorf("classic/extended rounds-per-commit ratio = %g, want 2", ratio)
+	}
+}
+
+func TestRotateLeaderRestoresThroughput(t *testing.T) {
+	// Without rotation, p1's death costs one wasted round on every later
+	// slot; with leader rotation the live lowest-id replica takes the p1
+	// role and the log returns to one round per commit immediately.
+	static, err := smr.Run(smr.Config{N: 4, Slots: 10,
+		CrashDuringSlot: map[sim.ProcID]int{1: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := smr.Run(smr.Config{N: 4, Slots: 10, RotateLeader: true,
+		CrashDuringSlot: map[sim.ProcID]int{1: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smr.Validate(rotated); err != nil {
+		t.Fatal(err)
+	}
+	// Static: slot 1 = 1 round, slots 2..10 = 2 rounds each -> 19.
+	if static.TotalRounds != 19 {
+		t.Errorf("static rounds = %d, want 19", static.TotalRounds)
+	}
+	// Rotated: slot 1 = 1, slot 2 = 2 (crash happens mid-slot), 3..10 = 1 -> 11.
+	if rotated.TotalRounds != 11 {
+		t.Errorf("rotated rounds = %d, want 11", rotated.TotalRounds)
+	}
+	// From slot 3 on the committed commands are p2's.
+	for i := 2; i < 10; i++ {
+		if got, want := rotated.Logs[2][i], smr.Command(i+1, 2); got != want {
+			t.Errorf("slot %d = %d, want %d", i+1, int64(got), int64(want))
+		}
+	}
+}
+
+func TestRotateLeaderUnderCascadingCrashes(t *testing.T) {
+	res, err := smr.Run(smr.Config{N: 5, Slots: 12, RotateLeader: true,
+		CrashDuringSlot: map[sim.ProcID]int{1: 2, 2: 5, 3: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smr.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	// Steady-state slots commit in one round despite three dead replicas.
+	last := res.RoundsPerSlot[len(res.RoundsPerSlot)-1]
+	if last != 1 {
+		t.Errorf("final slot took %d rounds, want 1 under rotation", last)
+	}
+	for _, id := range []sim.ProcID{4, 5} {
+		if got := len(res.Logs[id]); got != 12 {
+			t.Errorf("replica %d log length = %d, want 12", id, got)
+		}
+	}
+}

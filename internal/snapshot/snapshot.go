@@ -1,0 +1,214 @@
+// Package snapshot implements the Chandy–Lamport distributed snapshot
+// algorithm (ACM TOCS 1985) — reference [6] of the paper and its canonical
+// example of a synchronization message in fault-free distributed computing.
+//
+// The marker message plays exactly the role the paper ascribes to it: it
+// tells the receiver to record its state (if it has not already) and it
+// cleanly separates, on each FIFO channel, the messages sent before the
+// sender's recording point from those sent after — a "synchronization point"
+// from which consistent global information can be assembled. The paper's
+// COMMIT message is the synchronous-agreement sibling of this idea, which is
+// why this substrate is part of the reproduction.
+//
+// The implementation is generic over the application: any App can be wrapped
+// by a Node. The package also ships the classic token-bank application whose
+// conservation invariant ("no money is created or destroyed") is the
+// textbook way to validate snapshot consistency, used by the tests and the
+// snapshot example.
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/async"
+)
+
+// App is the application layer living on one node.
+type App interface {
+	// Init may send initial application messages via send.
+	Init(send func(to async.NodeID, payload any))
+	// Handle processes one application payload; it may send messages.
+	Handle(from async.NodeID, payload any, send func(to async.NodeID, payload any))
+	// State returns a copy of the current local state for recording.
+	State() any
+}
+
+// Marker is the snapshot synchronization message.
+type Marker struct {
+	// Origin identifies the snapshot initiator (to distinguish concurrent
+	// snapshots; this implementation runs one snapshot per engine run).
+	Origin async.NodeID
+}
+
+// ChannelState is the recorded in-transit content of one channel.
+type ChannelState struct {
+	From     async.NodeID
+	To       async.NodeID
+	Payloads []any
+}
+
+// Collector gathers the pieces of one global snapshot as nodes complete.
+type Collector struct {
+	mu       sync.Mutex
+	states   map[async.NodeID]any
+	channels []ChannelState
+	done     int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{states: map[async.NodeID]any{}}
+}
+
+// recordNode stores a node's recorded local state.
+func (c *Collector) recordNode(id async.NodeID, state any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.states[id] = state
+}
+
+// recordChannel stores one channel's recorded in-transit messages.
+func (c *Collector) recordChannel(cs ChannelState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.channels = append(c.channels, cs)
+}
+
+// nodeDone marks one node's snapshot participation complete.
+func (c *Collector) nodeDone() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done++
+}
+
+// Complete reports whether all n nodes finished recording.
+func (c *Collector) Complete(n int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done == n
+}
+
+// States returns the recorded local states keyed by node.
+func (c *Collector) States() map[async.NodeID]any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[async.NodeID]any, len(c.states))
+	for k, v := range c.states {
+		out[k] = v
+	}
+	return out
+}
+
+// Channels returns the recorded channel states, sorted by (From, To).
+func (c *Collector) Channels() []ChannelState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]ChannelState(nil), c.channels...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Node wraps an App with the Chandy–Lamport protocol. It implements
+// async.Handler.
+type Node struct {
+	app       App
+	collector *Collector
+	initiator bool
+
+	recorded  bool
+	recording map[async.NodeID]bool // channels still being recorded (by sender)
+	chanState map[async.NodeID][]any
+	n         int
+}
+
+// NewNode wraps app; if initiator is true the node starts the snapshot in
+// Init (after the app's own Init). All nodes of a run must share the
+// collector.
+func NewNode(app App, collector *Collector, initiator bool) *Node {
+	return &Node{app: app, collector: collector, initiator: initiator}
+}
+
+// Init implements async.Handler.
+func (nd *Node) Init(ctx *async.Context) {
+	nd.n = ctx.N()
+	nd.app.Init(func(to async.NodeID, payload any) { ctx.Send(to, payload) })
+	if nd.initiator {
+		nd.record(ctx)
+	}
+}
+
+// record takes the local snapshot and emits markers on all outgoing
+// channels; it starts recording every incoming channel (except that the
+// initiator's trigger has no incoming marker channel to exclude).
+func (nd *Node) record(ctx *async.Context) {
+	if nd.recorded {
+		return
+	}
+	nd.recorded = true
+	nd.collector.recordNode(ctx.ID(), nd.app.State())
+	nd.recording = map[async.NodeID]bool{}
+	nd.chanState = map[async.NodeID][]any{}
+	for i := 1; i <= nd.n; i++ {
+		id := async.NodeID(i)
+		if id != ctx.ID() {
+			nd.recording[id] = true
+		}
+	}
+	// The marker is sent atomically with the recording on every outgoing
+	// channel — the synchronization point.
+	ctx.Broadcast(Marker{Origin: ctx.ID()})
+	nd.maybeFinish(ctx)
+}
+
+// maybeFinish completes the node's participation once every incoming channel
+// has delivered its marker.
+func (nd *Node) maybeFinish(ctx *async.Context) {
+	if !nd.recorded {
+		return
+	}
+	for _, still := range nd.recording {
+		if still {
+			return
+		}
+	}
+	if nd.recording != nil {
+		for from, msgs := range nd.chanState {
+			nd.collector.recordChannel(ChannelState{From: from, To: ctx.ID(), Payloads: msgs})
+		}
+		nd.recording = nil
+		nd.collector.nodeDone()
+	}
+}
+
+// OnMessage implements async.Handler.
+func (nd *Node) OnMessage(ctx *async.Context, m async.Message) {
+	if _, ok := m.Payload.(Marker); ok {
+		if !nd.recorded {
+			// First marker: record now. The channel it arrived on is empty
+			// in the snapshot (FIFO: everything before the marker was
+			// delivered pre-recording).
+			nd.record(ctx)
+		}
+		nd.recording[m.From] = false
+		nd.maybeFinish(ctx)
+		return
+	}
+	// Application message: if it arrived on a channel still being recorded,
+	// it was in transit at the snapshot point.
+	if nd.recorded && nd.recording != nil && nd.recording[m.From] {
+		nd.chanState[m.From] = append(nd.chanState[m.From], m.Payload)
+	}
+	nd.app.Handle(m.From, m.Payload, func(to async.NodeID, payload any) { ctx.Send(to, payload) })
+}
+
+// String renders the node state.
+func (nd *Node) String() string {
+	return fmt.Sprintf("snapshot-node(recorded=%t)", nd.recorded)
+}

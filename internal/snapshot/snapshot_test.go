@@ -1,0 +1,144 @@
+package snapshot_test
+
+import (
+	"testing"
+
+	"repro/internal/async"
+	"repro/internal/snapshot"
+)
+
+// buildBankSystem wires n bank nodes with a busy transfer plan and wraps
+// them in snapshot nodes; node 1 initiates the snapshot.
+func buildBankSystem(n int, balance int64, hops int) ([]async.Handler, *snapshot.Collector, int64) {
+	collector := snapshot.NewCollector()
+	handlers := make([]async.Handler, n)
+	total := int64(0)
+	for i := 1; i <= n; i++ {
+		var plan []snapshot.PlannedTransfer
+		for j := 1; j <= n; j++ {
+			if j != i {
+				plan = append(plan, snapshot.PlannedTransfer{
+					To: async.NodeID(j), Amount: balance / int64(2*n), Hops: hops,
+				})
+			}
+		}
+		bank := snapshot.NewBank(async.NodeID(i), n, balance, plan)
+		handlers[i-1] = snapshot.NewNode(bank, collector, i == 1)
+		total += balance
+	}
+	return handlers, collector, total
+}
+
+func TestSnapshotConservesTokens(t *testing.T) {
+	// The fundamental consistency check: recorded balances plus recorded
+	// in-channel tokens equal the initial total, for every scheduling. Run
+	// many times to exercise different goroutine interleavings.
+	const n, balance, hops = 5, 1000, 6
+	for iter := 0; iter < 100; iter++ {
+		handlers, collector, total := buildBankSystem(n, balance, hops)
+		eng, err := async.NewEngine(handlers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if !collector.Complete(n) {
+			t.Fatalf("iter %d: snapshot incomplete", iter)
+		}
+		got := snapshot.TotalBalances(collector.States()) +
+			snapshot.TotalInChannels(collector.Channels())
+		if got != total {
+			t.Fatalf("iter %d: snapshot total = %d, want %d (states %v, channels %v)",
+				iter, got, total, collector.States(), collector.Channels())
+		}
+	}
+}
+
+func TestSnapshotRecordsAllNodes(t *testing.T) {
+	const n = 4
+	handlers, collector, _ := buildBankSystem(n, 400, 3)
+	eng, err := async.NewEngine(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	states := collector.States()
+	if len(states) != n {
+		t.Fatalf("recorded %d node states, want %d", len(states), n)
+	}
+	for i := 1; i <= n; i++ {
+		if _, ok := states[async.NodeID(i)]; !ok {
+			t.Errorf("node %d state missing", i)
+		}
+	}
+	// Every channel state belongs to a real directed channel, no duplicates.
+	seen := map[[2]async.NodeID]bool{}
+	for _, cs := range collector.Channels() {
+		key := [2]async.NodeID{cs.From, cs.To}
+		if seen[key] {
+			t.Errorf("duplicate channel state %v", key)
+		}
+		seen[key] = true
+		if cs.From == cs.To {
+			t.Errorf("self-channel recorded: %v", key)
+		}
+	}
+}
+
+func TestSnapshotSingleNode(t *testing.T) {
+	collector := snapshot.NewCollector()
+	bank := snapshot.NewBank(1, 1, 42, nil)
+	eng, err := async.NewEngine([]async.Handler{snapshot.NewNode(bank, collector, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !collector.Complete(1) {
+		t.Fatal("single-node snapshot incomplete")
+	}
+	if got := snapshot.TotalBalances(collector.States()); got != 42 {
+		t.Errorf("recorded balance = %d, want 42", got)
+	}
+}
+
+func TestSnapshotIdleSystem(t *testing.T) {
+	// With no application traffic the snapshot still completes and records
+	// the initial balances with empty channels.
+	const n = 3
+	collector := snapshot.NewCollector()
+	handlers := make([]async.Handler, n)
+	for i := 1; i <= n; i++ {
+		handlers[i-1] = snapshot.NewNode(snapshot.NewBank(async.NodeID(i), n, 100, nil), collector, i == 1)
+	}
+	eng, err := async.NewEngine(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !collector.Complete(n) {
+		t.Fatal("snapshot incomplete")
+	}
+	if got := snapshot.TotalBalances(collector.States()); got != 300 {
+		t.Errorf("total = %d, want 300", got)
+	}
+	if got := snapshot.TotalInChannels(collector.Channels()); got != 0 {
+		t.Errorf("in-channel tokens = %d, want 0", got)
+	}
+}
+
+func TestMarkerCount(t *testing.T) {
+	// Chandy–Lamport sends exactly one marker per directed channel:
+	// n(n-1) marker messages in a complete graph.
+	const n = 4
+	handlers, collector, _ := buildBankSystem(n, 0, 0) // no app traffic
+	eng, err := async.NewEngine(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !collector.Complete(n) {
+		t.Fatal("snapshot incomplete")
+	}
+	if got, want := eng.MessagesSent(), n*(n-1); got != want {
+		t.Errorf("messages sent = %d, want %d (markers only)", got, want)
+	}
+}

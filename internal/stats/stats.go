@@ -1,0 +1,140 @@
+// Package stats provides average-case analysis of the consensus protocols
+// under randomized fault injection.
+//
+// The paper's practical argument (Section 2.2) leans on failures being rare:
+// "f = 0 and f = 1 are the most common values". This package quantifies that
+// argument by sweeping crash probabilities and measuring the distribution of
+// decision rounds, message counts and decision times across seeds — the
+// expected-case companion to the worst-case theorems (experiment E11).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations of one scalar metric.
+type Sample struct {
+	values []float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	if len(s.values) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.values)))
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	max := 0.0
+	for i, v := range s.values {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank; 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// String renders mean ± stddev (max).
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.2f±%.2f (max %.0f)", s.Mean(), s.StdDev(), s.Max())
+}
+
+// Histogram counts integer-valued observations.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{counts: map[int]int{}} }
+
+// Add records one observation.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the number of observations equal to v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the share of observations equal to v.
+func (h *Histogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// Keys returns the observed values in increasing order.
+func (h *Histogram) Keys() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// String renders "v:count" pairs in order.
+func (h *Histogram) String() string {
+	out := ""
+	for i, k := range h.Keys() {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d:%d", k, h.counts[k])
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package trace records structured events of a simulated execution.
+//
+// A Log is an append-only sequence of events (sends, deliveries, drops,
+// crashes, decisions, halts). It is used by the command-line tools to print
+// human-readable execution transcripts and by tests to assert fine-grained
+// ordering properties of the engines.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindSend records a message leaving its sender.
+	KindSend Kind = iota + 1
+	// KindDrop records a message suppressed by a crash during the send phase.
+	KindDrop
+	// KindDeliver records a message arriving at its destination.
+	KindDeliver
+	// KindCrash records a process crashing.
+	KindCrash
+	// KindDecide records a process deciding a value.
+	KindDecide
+	// KindHalt records a process terminating (returning from the protocol).
+	KindHalt
+	// KindNote records free-form engine annotations.
+	KindNote
+)
+
+var kindNames = map[Kind]string{
+	KindSend:    "send",
+	KindDrop:    "drop",
+	KindDeliver: "deliver",
+	KindCrash:   "crash",
+	KindDecide:  "decide",
+	KindHalt:    "halt",
+	KindNote:    "note",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one entry of an execution transcript.
+type Event struct {
+	// Round is the round (or logical step) the event occurred in; 0 when the
+	// engine is not round-based.
+	Round int
+	// Kind classifies the event.
+	Kind Kind
+	// From is the acting process (sender, crasher, decider).
+	From int
+	// To is the destination process for message events; 0 otherwise.
+	To int
+	// Detail is a short human-readable annotation (payload, value, reason).
+	Detail string
+}
+
+// String renders the event in a compact transcript form.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindSend, KindDrop, KindDeliver:
+		return fmt.Sprintf("r%d %-8s p%d -> p%d %s", e.Round, e.Kind, e.From, e.To, e.Detail)
+	case KindCrash, KindDecide, KindHalt:
+		return fmt.Sprintf("r%d %-8s p%d %s", e.Round, e.Kind, e.From, e.Detail)
+	default:
+		return fmt.Sprintf("r%d %-8s %s", e.Round, e.Kind, e.Detail)
+	}
+}
+
+// Log is an append-only event transcript. A nil *Log discards all events, so
+// engines can unconditionally call Add on an optional log.
+type Log struct {
+	events []Event
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Add appends an event. Add on a nil log is a no-op.
+func (l *Log) Add(e Event) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Filter returns the events of the given kind, in order.
+func (l *Log) Filter(k Kind) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the whole transcript, one event per line.
+func (l *Log) String() string {
+	if l == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *trace.Log
+	l.Add(trace.Event{Kind: trace.KindSend}) // must not panic
+	if l.Len() != 0 || l.Events() != nil || l.Filter(trace.KindSend) != nil {
+		t.Error("nil log not empty")
+	}
+	if l.String() != "" {
+		t.Error("nil log renders non-empty")
+	}
+}
+
+func TestAddAndFilter(t *testing.T) {
+	l := trace.New()
+	l.Add(trace.Event{Round: 1, Kind: trace.KindSend, From: 1, To: 2, Detail: "data"})
+	l.Add(trace.Event{Round: 1, Kind: trace.KindCrash, From: 1})
+	l.Add(trace.Event{Round: 2, Kind: trace.KindSend, From: 2, To: 3, Detail: "control"})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	sends := l.Filter(trace.KindSend)
+	if len(sends) != 2 || sends[0].To != 2 || sends[1].To != 3 {
+		t.Errorf("Filter(send) = %v", sends)
+	}
+	if got := l.Filter(trace.KindDecide); got != nil {
+		t.Errorf("Filter(decide) = %v, want nil", got)
+	}
+}
+
+func TestEventRendering(t *testing.T) {
+	cases := []struct {
+		e    trace.Event
+		want []string
+	}{
+		{trace.Event{Round: 1, Kind: trace.KindSend, From: 1, To: 2, Detail: "data"},
+			[]string{"r1", "send", "p1 -> p2", "data"}},
+		{trace.Event{Round: 3, Kind: trace.KindDecide, From: 4, Detail: "value 7"},
+			[]string{"r3", "decide", "p4", "value 7"}},
+		{trace.Event{Round: 2, Kind: trace.KindNote, Detail: "hello"},
+			[]string{"r2", "note", "hello"}},
+	}
+	for _, c := range cases {
+		s := c.e.String()
+		for _, w := range c.want {
+			if !strings.Contains(s, w) {
+				t.Errorf("%q lacks %q", s, w)
+			}
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	pairs := map[trace.Kind]string{
+		trace.KindSend:    "send",
+		trace.KindDrop:    "drop",
+		trace.KindDeliver: "deliver",
+		trace.KindCrash:   "crash",
+		trace.KindDecide:  "decide",
+		trace.KindHalt:    "halt",
+		trace.KindNote:    "note",
+	}
+	for k, want := range pairs {
+		if k.String() != want {
+			t.Errorf("Kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(trace.Kind(99).String(), "99") {
+		t.Error("unknown kind should embed its number")
+	}
+}
+
+func TestLogStringOneEventPerLine(t *testing.T) {
+	l := trace.New()
+	l.Add(trace.Event{Round: 1, Kind: trace.KindSend, From: 1, To: 2})
+	l.Add(trace.Event{Round: 1, Kind: trace.KindHalt, From: 2})
+	lines := strings.Split(strings.TrimRight(l.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Errorf("rendered %d lines, want 2:\n%s", len(lines), l.String())
+	}
+}
