@@ -279,9 +279,9 @@ func Run(cfg Config) (*Report, error) {
 	rep := &Report{
 		Rounds:       int(res.Rounds),
 		MacroRounds:  int(res.Rounds),
-		Decisions:    map[int]int64{},
-		DecideRound:  map[int]int{},
-		Crashed:      map[int]int{},
+		Decisions:    make(map[int]int64, len(res.Decisions)),
+		DecideRound:  make(map[int]int, len(res.DecideRound)),
+		Crashed:      make(map[int]int, len(res.Crashed)),
 		Counters:     res.Counters,
 		ConsensusErr: check.Consensus(proposals, res),
 	}

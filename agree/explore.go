@@ -1,0 +1,139 @@
+package agree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ExploreConfig configures an exhaustive exploration of the paper's
+// algorithm (or one of its ablations): every crash schedule and delivery
+// truncation the model allows for the given system size is enumerated and
+// validated against uniform consensus and the f+1 round bound.
+type ExploreConfig struct {
+	// N is the number of processes (required; keep small — the space is
+	// exhaustive).
+	N int
+	// T is the crash budget (default N-1).
+	T int
+	// OrderAscending flips the commit order to ascending (ablation: the f+1
+	// bound fails).
+	OrderAscending bool
+	// CommitAsData folds the commit into the data step (ablation: uniform
+	// agreement fails).
+	CommitAsData bool
+	// Budget caps the number of executions (default 50,000,000).
+	Budget int
+	// MaxCounterexamples stops the search after this many violations
+	// (default 1).
+	MaxCounterexamples int
+	// Parallel shards the choice space across a worker pool. The exploration
+	// result is identical to the sequential one whenever the search runs to
+	// completion (see check.ExploreParallel for the exact guarantee).
+	Parallel bool
+	// Workers sets the pool size when Parallel is set (0 = GOMAXPROCS).
+	Workers int
+}
+
+// ExploreCounterexample is one violating execution, identified by its choice
+// script (replayable via cmd/agreexplore -replay).
+type ExploreCounterexample struct {
+	// Script is the choice script reproducing the execution.
+	Script []int
+	// Err describes the violated property.
+	Err error
+}
+
+// ExploreReport aggregates an exploration.
+type ExploreReport struct {
+	// Executions is the number of distinct executions explored.
+	Executions int
+	// MaxRounds is the maximum run length seen.
+	MaxRounds int
+	// MaxDecideRound is the latest decision round seen in any execution.
+	MaxDecideRound int
+	// MaxFaults is the largest number of crashes in any execution.
+	MaxFaults int
+	// Counterexamples are the violations found (empty for the faithful
+	// algorithm).
+	Counterexamples []ExploreCounterexample
+}
+
+// Explore exhaustively model-checks the configured system. It is the public
+// face of the internal/check explorer, wired to the paper's algorithm.
+func Explore(cfg ExploreConfig) (*ExploreReport, error) {
+	if cfg.N < 1 {
+		return nil, errors.New("agree: N must be at least 1")
+	}
+	if cfg.T <= 0 || cfg.T >= cfg.N {
+		cfg.T = cfg.N - 1
+	}
+	if cfg.N == 1 {
+		cfg.T = 0
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 50_000_000
+	}
+	opts := core.Options{CommitAsData: cfg.CommitAsData}
+	if cfg.OrderAscending {
+		opts.Order = core.OrderAscending
+	}
+	model := sim.ModelExtended
+	if cfg.CommitAsData {
+		model = sim.ModelClassic
+	}
+	n, t := cfg.N, cfg.T
+	factory := func(ch interface{ Choose(int) int }) check.Execution {
+		props := make([]sim.Value, n)
+		for i := range props {
+			props[i] = sim.Value(10 + i)
+		}
+		return check.Execution{
+			Procs:     core.NewSystem(props, opts),
+			Adv:       adversary.NewFromChooser(ch, t, sim.Round(n)),
+			Cfg:       sim.Config{Model: model, Horizon: sim.Round(n + 2)},
+			Proposals: props,
+		}
+	}
+	validator := func(ex check.Execution, res *sim.Result, engineErr error) error {
+		if engineErr != nil {
+			return engineErr
+		}
+		if err := check.Consensus(ex.Proposals, res); err != nil {
+			return err
+		}
+		return check.RoundBound(res, check.BoundFPlus1)
+	}
+	eopts := check.ExploreOpts{
+		Budget:             cfg.Budget,
+		MaxCounterexamples: cfg.MaxCounterexamples,
+		Workers:            cfg.Workers,
+	}
+	var stats check.Stats
+	var err error
+	if cfg.Parallel {
+		stats, err = check.ExploreParallel(factory, validator, eopts)
+	} else {
+		stats, err = check.Explore(factory, validator, eopts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("agree: explore: %w", err)
+	}
+	rep := &ExploreReport{
+		Executions:     stats.Executions,
+		MaxRounds:      int(stats.MaxRounds),
+		MaxDecideRound: int(stats.MaxDecideRound),
+		MaxFaults:      stats.MaxFaults,
+	}
+	for _, ce := range stats.Counterexamples {
+		rep.Counterexamples = append(rep.Counterexamples, ExploreCounterexample{
+			Script: ce.Script,
+			Err:    ce.Err,
+		})
+	}
+	return rep, nil
+}

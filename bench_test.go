@@ -146,6 +146,141 @@ func BenchmarkE5Exhaustive(b *testing.B) {
 	b.ReportMetric(float64(execs), "executions")
 }
 
+// e5BenchFactory builds the E5 workload (n=4, t=2, 151 executions) for the
+// exploration benchmarks.
+func e5BenchFactory(ch interface{ Choose(int) int }) check.Execution {
+	props := []sim.Value{10, 11, 12, 13}
+	return check.Execution{
+		Procs:     core.NewSystem(props, core.Options{}),
+		Adv:       adversary.NewFromChooser(ch, 2, 4),
+		Cfg:       sim.Config{Model: sim.ModelExtended, Horizon: 6},
+		Proposals: props,
+	}
+}
+
+// e5BenchValidator validates consensus plus the f+1 bound.
+func e5BenchValidator(ex check.Execution, res *sim.Result, engineErr error) error {
+	if engineErr != nil {
+		return engineErr
+	}
+	if err := check.Consensus(ex.Proposals, res); err != nil {
+		return err
+	}
+	return check.RoundBound(res, check.BoundFPlus1)
+}
+
+// BenchmarkExploreParallel times the sharded explorer on the E5 workload
+// (the speedup over BenchmarkE5Exhaustive scales with core count; on one
+// core it degrades to the sequential path).
+func BenchmarkExploreParallel(b *testing.B) {
+	var execs int
+	for i := 0; i < b.N; i++ {
+		stats, err := check.ExploreParallel(e5BenchFactory, e5BenchValidator,
+			check.ExploreOpts{Budget: 1_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(stats.Counterexamples) != 0 {
+			b.Fatal("unexpected violation")
+		}
+		execs = stats.Executions
+	}
+	b.ReportMetric(float64(execs), "executions")
+}
+
+// benchProc is a minimal allocation-free process for measuring the engine's
+// own hot-path cost: p1 broadcasts a preallocated data plan in round 1 and
+// every process decides (and halts) in round 2.
+type benchProc struct {
+	id      sim.ProcID
+	plan    sim.SendPlan // preallocated; empty except for p1 in round 1
+	decided bool
+}
+
+func (p *benchProc) ID() sim.ProcID { return p.id }
+func (p *benchProc) Send(r sim.Round) sim.SendPlan {
+	if r == 1 {
+		return p.plan
+	}
+	return sim.SendPlan{}
+}
+func (p *benchProc) Receive(r sim.Round, inbox []sim.Message) {
+	if r == 2 {
+		p.decided = true
+	}
+}
+func (p *benchProc) Decided() (sim.Value, bool) { return 7, p.decided }
+func (p *benchProc) Halted() bool               { return p.decided }
+
+// TestEngineHappyPathAllocs pins the allocation count of the engine's
+// no-trace hot path: with the engine reset between runs (as the explorer
+// does) and processes that allocate nothing, a two-round broadcast run may
+// only allocate the Result and its three maps. The seed engine spent
+// hundreds of allocations here on map bookkeeping, eager trace strings and
+// delivery masks.
+func TestEngineHappyPathAllocs(t *testing.T) {
+	const n = 8
+	procs := make([]sim.Process, n)
+	bps := make([]*benchProc, n)
+	for i := range procs {
+		bp := &benchProc{id: sim.ProcID(i + 1)}
+		if i == 0 {
+			for j := 2; j <= n; j++ {
+				bp.plan.Data = append(bp.plan.Data,
+					sim.Outgoing{To: sim.ProcID(j), Payload: sim.Est{V: 7, B: 64}})
+			}
+			bp.plan.Control = make([]sim.ProcID, 0, n-1)
+			for j := n; j >= 2; j-- {
+				bp.plan.Control = append(bp.plan.Control, sim.ProcID(j))
+			}
+		}
+		bps[i] = bp
+		procs[i] = bp
+	}
+	eng, err := sim.NewEngine(sim.Config{Model: sim.ModelExtended, Horizon: 4}, procs, adversary.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		for _, bp := range bps {
+			bp.decided = false
+		}
+		if err := eng.Reset(procs, adversary.None{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up inbox buffers
+	allocs := testing.AllocsPerRun(200, run)
+	// Result struct + Decisions/DecideRound/Crashed maps; allow a little
+	// headroom for map bucket layout differences across Go versions.
+	const maxAllocs = 12
+	if allocs > maxAllocs {
+		t.Errorf("engine happy path allocates %.1f allocs/run, want <= %d", allocs, maxAllocs)
+	}
+}
+
+// TestE1FailureFreeAllocs guards the ISSUE 1 acceptance criterion at the
+// workload level: the full E1 failure-free run (n=64, protocol allocations
+// included) must stay well under half the seed's 600 allocs/op.
+func TestE1FailureFreeAllocs(t *testing.T) {
+	allocs := testing.AllocsPerRun(20, func() {
+		rep, err := agree.Run(agree.Config{N: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ConsensusErr != nil {
+			t.Fatal(rep.ConsensusErr)
+		}
+	})
+	const maxAllocs = 300 // seed: 600
+	if allocs > maxAllocs {
+		t.Errorf("E1 failure-free run allocates %.1f allocs/run, want <= %d (seed: 600)", allocs, maxAllocs)
+	}
+}
+
 // BenchmarkE6Simulation times the Section 2.2 extended-on-classic
 // simulation at n=16 (16 micro rounds per macro round).
 func BenchmarkE6Simulation(b *testing.B) {

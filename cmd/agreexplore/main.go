@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -28,6 +29,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the real main so deferred cleanups (CPU profile flush) execute
+// before the process exits.
+func run() int {
 	var (
 		n            = flag.Int("n", 4, "number of processes (keep small: the space is exhaustive)")
 		tt           = flag.Int("t", 2, "crash budget")
@@ -37,8 +44,25 @@ func main() {
 		maxCE        = flag.Int("max-counterexamples", 3, "stop after this many violations")
 		worst        = flag.Bool("worst", false, "search for the slowest execution and replay it with a trace")
 		replay       = flag.String("replay", "", "comma-separated choice script to replay with a trace")
+		parallel     = flag.Bool("parallel", false, "shard the exploration across all CPUs")
+		workers      = flag.Int("workers", 0, "worker-pool size with -parallel (0 = GOMAXPROCS)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "agreexplore:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "agreexplore:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opts := core.Options{CommitAsData: *commitAsData}
 	switch *order {
@@ -47,7 +71,7 @@ func main() {
 		opts.Order = core.OrderAscending
 	default:
 		fmt.Fprintf(os.Stderr, "agreexplore: unknown order %q\n", *order)
-		os.Exit(1)
+		return 1
 	}
 
 	factory := func(ch interface{ Choose(int) int }) check.Execution {
@@ -70,22 +94,20 @@ func main() {
 		script, err := parseScript(*replay)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "agreexplore:", err)
-			os.Exit(1)
+			return 1
 		}
-		replayScript(factory, script)
-		return
+		return replayScript(factory, script)
 	}
 	if *worst {
 		w, err := check.FindWorstSchedule(factory, check.ExploreOpts{Budget: *budget})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "agreexplore:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("worst execution over %d explored: decides at round %d with %d fault(s)\n",
 			w.Executions, w.DecideRound, w.Faults)
 		fmt.Printf("script %v — replaying with trace:\n\n", w.Script)
-		replayScript(factory, w.Script)
-		return
+		return replayScript(factory, w.Script)
 	}
 
 	validator := func(ex check.Execution, res *sim.Result, engineErr error) error {
@@ -97,20 +119,38 @@ func main() {
 		}
 		return check.RoundBound(res, check.BoundFPlus1)
 	}
-	stats, err := check.Explore(factory, validator,
-		check.ExploreOpts{Budget: *budget, MaxCounterexamples: *maxCE})
+	eopts := check.ExploreOpts{Budget: *budget, MaxCounterexamples: *maxCE, Workers: *workers}
+	var stats check.Stats
+	var err error
+	if *parallel {
+		stats, err = check.ExploreParallel(factory, validator, eopts)
+	} else {
+		stats, err = check.Explore(factory, validator, eopts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "agreexplore:", err)
-		os.Exit(1)
+		return 1
 	}
 
-	fmt.Printf("explored      %d executions (n=%d, t=%d, order=%s, commit-as-data=%t)\n",
-		stats.Executions, *n, *tt, *order, *commitAsData)
+	mode := "sequential"
+	if *parallel {
+		if effective := check.EffectiveWorkers(eopts); effective > 1 {
+			// "≤" because degenerate spaces (no choice points to shard) run
+			// on fewer workers than the pool offers.
+			mode = fmt.Sprintf("parallel/≤%d workers", effective)
+		} else {
+			// ExploreParallel degrades to the sequential explorer when only
+			// one worker (or a tiny budget) is in play; report what ran.
+			mode = "sequential (parallel fallback)"
+		}
+	}
+	fmt.Printf("explored      %d executions (n=%d, t=%d, order=%s, commit-as-data=%t, %s)\n",
+		stats.Executions, *n, *tt, *order, *commitAsData, mode)
 	fmt.Printf("max faults    %d\n", stats.MaxFaults)
 	fmt.Printf("max decide    round %d (bound t+1 = %d)\n", stats.MaxDecideRound, *tt+1)
 	if len(stats.Counterexamples) == 0 {
 		fmt.Println("violations    none — every execution satisfies uniform consensus and the f+1 bound")
-		return
+		return 0
 	}
 	fmt.Printf("violations    %d\n", len(stats.Counterexamples))
 	for i, ce := range stats.Counterexamples {
@@ -119,7 +159,7 @@ func main() {
 			ce.Script, scriptString(ce.Script))
 		fmt.Printf("      decisions %v, crashed %v\n", ce.Result.Decisions, ce.Result.Crashed)
 	}
-	os.Exit(2)
+	return 2
 }
 
 // parseScript parses "1,0,2" into a choice script.
@@ -146,8 +186,8 @@ func scriptString(script []int) string {
 }
 
 // replayScript re-executes one scripted run with a full transcript and
-// verdict.
-func replayScript(factory check.RunFactory, script []int) {
+// verdict, returning the process exit code.
+func replayScript(factory check.RunFactory, script []int) int {
 	log := trace.New()
 	ex := factory(&check.Replayer{Values: script})
 	cfg := ex.Cfg
@@ -155,7 +195,7 @@ func replayScript(factory check.RunFactory, script []int) {
 	eng, err := sim.NewEngine(cfg, ex.Procs, ex.Adv)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "agreexplore:", err)
-		os.Exit(1)
+		return 1
 	}
 	res, runErr := eng.Run()
 	fmt.Print(log.String())
@@ -166,11 +206,12 @@ func replayScript(factory check.RunFactory, script []int) {
 	}
 	if err := check.Consensus(ex.Proposals, res); err != nil {
 		fmt.Printf("VERDICT: %v\n", err)
-		return
+		return 2
 	}
 	if err := check.RoundBound(res, check.BoundFPlus1); err != nil {
 		fmt.Printf("VERDICT: consensus holds but %v\n", err)
-		return
+		return 2
 	}
 	fmt.Println("VERDICT: uniform consensus and the f+1 bound hold")
+	return 0
 }

@@ -33,10 +33,22 @@ type choice struct {
 type Backtracker struct {
 	script []choice
 	pos    int
+	// frozen is the length of the script prefix Next may not modify. A
+	// frozen backtracker enumerates exactly the subtree of executions whose
+	// first choices match the prefix; the parallel explorer shards the choice
+	// space this way.
+	frozen int
 }
 
 // NewBacktracker returns a chooser positioned at the all-zeros script.
 func NewBacktracker() *Backtracker { return &Backtracker{} }
+
+// newBacktrackerFrozen returns a chooser whose first len(prefix) choices are
+// pinned: it starts at the lexicographically-first script extending the
+// prefix and Next never backtracks into the pinned region.
+func newBacktrackerFrozen(prefix []choice) *Backtracker {
+	return &Backtracker{script: append([]choice(nil), prefix...), frozen: len(prefix)}
+}
 
 // Choose implements adversary.Chooser: it replays the current script and
 // extends it with 0-picks at fresh choice points.
@@ -55,9 +67,10 @@ func (b *Backtracker) Choose(n int) int {
 }
 
 // Next advances to the next script in lexicographic order and rewinds the
-// replay position. It returns false when the space is exhausted.
+// replay position. It returns false when the space (the frozen-prefix
+// subtree, for a sharded backtracker) is exhausted.
 func (b *Backtracker) Next() bool {
-	for len(b.script) > 0 {
+	for len(b.script) > b.frozen {
 		last := len(b.script) - 1
 		b.script[last].picked++
 		if b.script[last].picked < b.script[last].n {
@@ -70,13 +83,20 @@ func (b *Backtracker) Next() bool {
 }
 
 // Script returns the current choice script (picked values only), which
-// reproduces the execution when fed to a replaying chooser.
+// reproduces the execution when fed to a replaying chooser. The returned
+// slice is a fresh exact-size copy, safe to retain.
 func (b *Backtracker) Script() []int {
 	out := make([]int, len(b.script))
 	for i, c := range b.script {
 		out[i] = c.picked
 	}
 	return out
+}
+
+// choices returns a copy of the raw script with domain sizes, used by the
+// parallel explorer to derive frozen prefixes.
+func (b *Backtracker) choices() []choice {
+	return append([]choice(nil), b.script...)
 }
 
 // Replayer is a chooser that replays a fixed script (and picks 0 beyond its
@@ -110,6 +130,12 @@ type Execution struct {
 
 // RunFactory builds a fresh execution whose nondeterminism is resolved by
 // the given chooser. It is invoked once per explored execution.
+//
+// The explorer reuses one engine across the executions of a factory (via
+// sim.Engine.Reset) whenever consecutive executions share a Config, so a
+// factory should return the same Model/Horizon/Trace every call — which every
+// fixed-scenario factory naturally does. Factories passed to ExploreParallel
+// must additionally be safe for concurrent calls.
 type RunFactory func(ch interface{ Choose(int) int }) Execution
 
 // Validator inspects a finished run; returning an error flags a violation.
@@ -138,6 +164,36 @@ type Stats struct {
 	Counterexamples []Counterexample
 }
 
+// merge folds another Stats (a disjoint shard of the same space) into s,
+// concatenating counterexamples in the order given.
+func (s *Stats) merge(o Stats) {
+	s.Executions += o.Executions
+	if o.MaxRounds > s.MaxRounds {
+		s.MaxRounds = o.MaxRounds
+	}
+	if o.MaxDecideRound > s.MaxDecideRound {
+		s.MaxDecideRound = o.MaxDecideRound
+	}
+	if o.MaxFaults > s.MaxFaults {
+		s.MaxFaults = o.MaxFaults
+	}
+	s.Counterexamples = append(s.Counterexamples, o.Counterexamples...)
+}
+
+// observe folds one execution's result into the aggregate.
+func (s *Stats) observe(res *sim.Result) {
+	s.Executions++
+	if res.Rounds > s.MaxRounds {
+		s.MaxRounds = res.Rounds
+	}
+	if m := res.MaxDecideRound(); m > s.MaxDecideRound {
+		s.MaxDecideRound = m
+	}
+	if f := res.Faults(); f > s.MaxFaults {
+		s.MaxFaults = f
+	}
+}
+
 // ExploreOpts tunes an exploration.
 type ExploreOpts struct {
 	// Budget caps the number of executions (0 = unlimited). Exceeding it
@@ -146,6 +202,38 @@ type ExploreOpts struct {
 	// MaxCounterexamples stops the search after this many violations
 	// (default 1).
 	MaxCounterexamples int
+	// Workers sets the worker-pool size for ExploreParallel (0 = GOMAXPROCS).
+	// Sequential Explore ignores it.
+	Workers int
+}
+
+// engineRunner runs a sequence of executions, reusing one engine whenever the
+// configs are compatible (same model/horizon/trace, no loss hook — loss hooks
+// are closures and cannot be compared, so they conservatively disable reuse).
+type engineRunner struct {
+	eng *sim.Engine
+	cfg sim.Config
+}
+
+// run executes ex, returning the result and the engine's run error; the
+// third return is a construction error (bad processes/adversary), which is
+// fatal to an exploration.
+func (er *engineRunner) run(ex Execution) (*sim.Result, error, error) {
+	if er.eng != nil && ex.Cfg.Loss == nil && er.cfg.Loss == nil &&
+		ex.Cfg.Model == er.cfg.Model && ex.Cfg.Horizon == er.cfg.Horizon &&
+		ex.Cfg.Trace == er.cfg.Trace {
+		if err := er.eng.Reset(ex.Procs, ex.Adv); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		eng, err := sim.NewEngine(ex.Cfg, ex.Procs, ex.Adv)
+		if err != nil {
+			return nil, nil, err
+		}
+		er.eng, er.cfg = eng, ex.Cfg
+	}
+	res, runErr := er.eng.Run()
+	return res, runErr, nil
 }
 
 // Explore enumerates every execution generated by the factory under a
@@ -156,27 +244,18 @@ func Explore(factory RunFactory, validate Validator, opts ExploreOpts) (Stats, e
 		opts.MaxCounterexamples = 1
 	}
 	bt := NewBacktracker()
+	var er engineRunner
 	var stats Stats
 	for {
 		if opts.Budget > 0 && stats.Executions >= opts.Budget {
 			return stats, fmt.Errorf("%w (after %d executions)", ErrBudget, stats.Executions)
 		}
 		ex := factory(bt)
-		eng, err := sim.NewEngine(ex.Cfg, ex.Procs, ex.Adv)
+		res, runErr, err := er.run(ex)
 		if err != nil {
 			return stats, fmt.Errorf("check: building engine: %w", err)
 		}
-		res, runErr := eng.Run()
-		stats.Executions++
-		if res.Rounds > stats.MaxRounds {
-			stats.MaxRounds = res.Rounds
-		}
-		if m := res.MaxDecideRound(); m > stats.MaxDecideRound {
-			stats.MaxDecideRound = m
-		}
-		if f := res.Faults(); f > stats.MaxFaults {
-			stats.MaxFaults = f
-		}
+		stats.observe(res)
 		if verr := validate(ex, res, runErr); verr != nil {
 			stats.Counterexamples = append(stats.Counterexamples, Counterexample{
 				Script: bt.Script(),

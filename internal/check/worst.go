@@ -29,17 +29,17 @@ type Worst struct {
 // search over a broken protocol is meaningless.
 func FindWorstSchedule(factory RunFactory, opts ExploreOpts) (*Worst, error) {
 	bt := NewBacktracker()
+	var er engineRunner
 	worst := &Worst{}
 	for {
 		if opts.Budget > 0 && worst.Executions >= opts.Budget {
 			return worst, fmt.Errorf("%w (after %d executions)", ErrBudget, worst.Executions)
 		}
 		ex := factory(bt)
-		eng, err := sim.NewEngine(ex.Cfg, ex.Procs, ex.Adv)
+		res, runErr, err := er.run(ex)
 		if err != nil {
 			return worst, fmt.Errorf("check: building engine: %w", err)
 		}
-		res, runErr := eng.Run()
 		worst.Executions++
 		if runErr != nil {
 			return worst, fmt.Errorf("check: execution %v failed: %w", bt.Script(), runErr)
@@ -49,7 +49,7 @@ func FindWorstSchedule(factory RunFactory, opts ExploreOpts) (*Worst, error) {
 		}
 		d := res.MaxDecideRound()
 		if d > worst.DecideRound || (d == worst.DecideRound && len(worst.Script) == 0) {
-			worst.Script = append([]int(nil), bt.Script()...)
+			worst.Script = bt.Script() // already a fresh copy
 			worst.DecideRound = d
 			worst.Faults = res.Faults()
 			worst.Rounds = res.Rounds

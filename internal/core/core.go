@@ -133,6 +133,11 @@ func (p *Protocol) Send(r sim.Round) sim.SendPlan {
 	}
 	var plan sim.SendPlan
 	payload := sim.Est{V: p.est, B: p.opts.bits()}
+	dataCap := p.n - int(p.id)
+	if p.opts.CommitAsData {
+		dataCap *= 2 // the commit messages ride in the data step too
+	}
+	plan.Data = make([]sim.Outgoing, 0, dataCap)
 	for j := int(p.id) + 1; j <= p.n; j++ {
 		plan.Data = append(plan.Data, sim.Outgoing{To: sim.ProcID(j), Payload: payload})
 	}

@@ -34,7 +34,9 @@ type Config struct {
 	// classic algorithms and f+2 for the paper's algorithm. Zero defaults to
 	// n + 2.
 	Horizon Round
-	// Trace, if non-nil, receives the execution transcript.
+	// Trace, if non-nil, receives the execution transcript. The no-trace path
+	// is the engine's hot path: with Trace nil, rounds execute without any
+	// event or detail-string construction.
 	Trace *trace.Log
 	// Loss, if non-nil, makes channels unreliable: a transmitted message for
 	// which Loss returns true silently vanishes. The paper's model assumes
@@ -78,67 +80,133 @@ func (r *Result) MaxDecideRound() Round {
 	return max
 }
 
-// DistinctDecisions returns the sorted set of distinct decided values.
+// DistinctDecisions returns the sorted set of distinct decided values. It
+// allocates a single slice (no intermediate set): the values are collected,
+// sorted, and deduplicated in place.
 func (r *Result) DistinctDecisions() []Value {
-	seen := map[Value]bool{}
+	out := make([]Value, 0, len(r.Decisions))
 	for _, v := range r.Decisions {
-		seen[v] = true
-	}
-	out := make([]Value, 0, len(seen))
-	for v := range seen {
 		out = append(out, v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // Engine executes a set of processes under an adversary in lockstep rounds.
+//
+// All per-process state lives in slices indexed by process (id-1), so the
+// round loop performs no map operations and — with tracing disabled — no
+// allocations after warm-up. An engine can be rewound with Reset to run many
+// executions without reallocating its buffers, which is what the exhaustive
+// explorer (internal/check) does.
 type Engine struct {
-	cfg   Config
-	procs []Process
-	adv   Adversary
+	cfg            Config
+	defaultHorizon bool // cfg.Horizon was 0 and derived from n
+	procs          []Process
+	adv            Adversary
 
-	alive   map[ProcID]bool
-	halted  map[ProcID]bool
-	decided map[ProcID]Value
-	decRnd  map[ProcID]Round
-	crashed map[ProcID]Round
-	inbox   map[ProcID][]Message
-	ctr     metrics.Counters
+	alive      []bool
+	halted     []bool
+	decided    []bool
+	decVal     []Value
+	decRnd     []Round
+	crashRnd   []Round // 0 = never crashed (rounds are 1-based)
+	crashedNow []bool  // scratch: crashed during the current round
+	inbox      [][]Message
+
+	aliveUnhalted int // alive processes that have not halted; allQuiet is ==0
+	nDecided      int
+	nCrashed      int
+	ctr           metrics.Counters
 }
+
+// inboxSeedCap is the per-process inbox capacity carved out of the flat
+// buffer a fresh engine allocates: enough for the faithful protocols (at most
+// one data and one control message per round) plus slack; flooding protocols
+// grow past it once and then reuse the grown buffers.
+const inboxSeedCap = 4
 
 // NewEngine builds an engine over the given processes. Process IDs must be
 // the contiguous range 1..n in order.
 func NewEngine(cfg Config, procs []Process, adv Adversary) (*Engine, error) {
+	e := &Engine{cfg: cfg, defaultHorizon: cfg.Horizon <= 0}
+	if err := e.Reset(procs, adv); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reset rewinds the engine to its initial state over a fresh process set and
+// adversary, reusing the internal buffers of the previous execution. The
+// configuration (model, horizon, trace, loss hook) is retained; if the
+// original Horizon was the n+2 default it is re-derived for the new process
+// count. Reset validates its arguments exactly like NewEngine.
+func (e *Engine) Reset(procs []Process, adv Adversary) error {
 	if len(procs) == 0 {
-		return nil, errors.New("sim: no processes")
+		return errors.New("sim: no processes")
 	}
 	for i, p := range procs {
 		if p.ID() != ProcID(i+1) {
-			return nil, fmt.Errorf("sim: process at index %d has id %d, want %d", i, p.ID(), i+1)
+			return fmt.Errorf("sim: process at index %d has id %d, want %d", i, p.ID(), i+1)
 		}
 	}
 	if adv == nil {
-		return nil, errors.New("sim: nil adversary")
+		return errors.New("sim: nil adversary")
 	}
-	if cfg.Horizon <= 0 {
-		cfg.Horizon = Round(len(procs) + 2)
+	n := len(procs)
+	if e.defaultHorizon {
+		e.cfg.Horizon = Round(n + 2)
 	}
-	e := &Engine{
-		cfg:     cfg,
-		procs:   procs,
-		adv:     adv,
-		alive:   make(map[ProcID]bool, len(procs)),
-		halted:  make(map[ProcID]bool),
-		decided: make(map[ProcID]Value),
-		decRnd:  make(map[ProcID]Round),
-		crashed: make(map[ProcID]Round),
-		inbox:   make(map[ProcID][]Message),
+	e.procs = procs
+	e.adv = adv
+	if cap(e.alive) < n {
+		e.alive = make([]bool, n)
+		e.halted = make([]bool, n)
+		e.decided = make([]bool, n)
+		e.decVal = make([]Value, n)
+		e.decRnd = make([]Round, n)
+		e.crashRnd = make([]Round, n)
+		e.crashedNow = make([]bool, n)
+		e.inbox = make([][]Message, n)
+		// Seed every inbox from one flat backing array: a fresh engine pays
+		// one allocation instead of one per first-delivery per process. An
+		// inbox that outgrows its seed capacity reallocates privately.
+		flat := make([]Message, n*inboxSeedCap)
+		for i := range e.inbox {
+			e.inbox[i] = flat[i*inboxSeedCap : i*inboxSeedCap : (i+1)*inboxSeedCap]
+		}
+	} else {
+		e.alive = e.alive[:n]
+		e.halted = e.halted[:n]
+		e.decided = e.decided[:n]
+		e.decVal = e.decVal[:n]
+		e.decRnd = e.decRnd[:n]
+		e.crashRnd = e.crashRnd[:n]
+		e.crashedNow = e.crashedNow[:n]
+		e.inbox = e.inbox[:n]
 	}
-	for _, p := range procs {
-		e.alive[p.ID()] = true
+	for i := 0; i < n; i++ {
+		e.alive[i] = true
+		e.halted[i] = false
+		e.decided[i] = false
+		e.decVal[i] = 0
+		e.decRnd[i] = 0
+		e.crashRnd[i] = 0
+		e.crashedNow[i] = false
+		e.inbox[i] = e.inbox[i][:0]
 	}
-	return e, nil
+	e.aliveUnhalted = n
+	e.nDecided = 0
+	e.nCrashed = 0
+	e.ctr = metrics.Counters{}
+	return nil
 }
 
 // N returns the number of processes.
@@ -171,34 +239,41 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	res := &Result{
 		Rounds:      r,
-		Decisions:   e.decided,
-		DecideRound: e.decRnd,
-		Crashed:     e.crashed,
+		Decisions:   make(map[ProcID]Value, e.nDecided),
+		DecideRound: make(map[ProcID]Round, e.nDecided),
+		Crashed:     make(map[ProcID]Round, e.nCrashed),
 		Counters:    e.ctr,
+	}
+	for i := range e.procs {
+		id := ProcID(i + 1)
+		if e.decided[i] {
+			res.Decisions[id] = e.decVal[i]
+			res.DecideRound[id] = e.decRnd[i]
+		}
+		if e.crashRnd[i] != 0 {
+			res.Crashed[id] = e.crashRnd[i]
+		}
 	}
 	res.Counters.Rounds = int(r)
 	return res, runErr
 }
 
-// allQuiet reports whether every alive process has halted.
-func (e *Engine) allQuiet() bool {
-	for id, a := range e.alive {
-		if a && !e.halted[id] {
-			return false
-		}
-	}
-	return true
-}
+// allQuiet reports whether every alive process has halted. The engine keeps
+// a running count, so this is O(1) per call.
+func (e *Engine) allQuiet() bool { return e.aliveUnhalted == 0 }
 
 // round executes one round: send phase (both steps, with crash truncation),
 // delivery, then receive/compute phase.
 func (e *Engine) round(r Round) error {
 	// Send phase. Collect deliveries first; all messages sent in round r are
 	// received in round r, after every sender has executed its send phase.
-	crashedNow := map[ProcID]bool{}
+	for i := range e.crashedNow {
+		e.crashedNow[i] = false
+	}
 	for _, p := range e.procs {
 		id := p.ID()
-		if !e.alive[id] || e.halted[id] {
+		i := int(id) - 1
+		if !e.alive[i] || e.halted[i] {
 			continue
 		}
 		plan := p.Send(r)
@@ -213,73 +288,113 @@ func (e *Engine) round(r Round) error {
 			if !outcome.ValidFor(plan) {
 				return fmt.Errorf("%w (process p%d, round %d)", ErrBadOutcome, id, r)
 			}
-			e.alive[id] = false
-			e.crashed[id] = r
-			crashedNow[id] = true
-			e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindCrash, From: int(id),
-				Detail: fmt.Sprintf("during send (data %s, ctrl prefix %d/%d)",
-					subsetString(outcome.DataDelivered), outcome.CtrlPrefix, len(plan.Control))})
+			e.alive[i] = false
+			e.crashRnd[i] = r
+			e.crashedNow[i] = true
+			e.aliveUnhalted--
+			e.nCrashed++
+			if e.cfg.Trace.Enabled() {
+				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindCrash, From: int(id),
+					Detail: fmt.Sprintf("during send (data %s, ctrl prefix %d/%d)",
+						subsetString(outcome.DataDelivered), outcome.CtrlPrefix, len(plan.Control))})
+			}
 			e.emit(id, r, plan, outcome)
 			continue
 		}
-		e.emit(id, r, plan, FullDelivery(plan))
+		e.emitAll(id, r, plan)
 	}
 
 	// Receive + compute phase. Crashed processes (including those that
 	// crashed this round) receive nothing.
 	for _, p := range e.procs {
 		id := p.ID()
-		if !e.alive[id] || e.halted[id] || crashedNow[id] {
+		i := int(id) - 1
+		if !e.alive[i] {
 			continue
 		}
-		in := e.inbox[id]
-		delete(e.inbox, id)
+		if e.halted[i] {
+			// A halted process stays alive but silent; anything queued for it
+			// is discarded so its buffer does not grow round over round.
+			e.inbox[i] = e.inbox[i][:0]
+			continue
+		}
+		in := e.inbox[i]
+		e.inbox[i] = in[:0] // recycle the buffer for the next round
 		sortInbox(in)
 		p.Receive(r, in)
 		if v, ok := p.Decided(); ok {
-			if _, seen := e.decided[id]; !seen {
-				e.decided[id] = v
-				e.decRnd[id] = r
-				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDecide,
-					From: int(id), Detail: fmt.Sprintf("value %d", int64(v))})
+			if !e.decided[i] {
+				e.decided[i] = true
+				e.decVal[i] = v
+				e.decRnd[i] = r
+				e.nDecided++
+				if e.cfg.Trace.Enabled() {
+					e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDecide,
+						From: int(id), Detail: fmt.Sprintf("value %d", int64(v))})
+				}
 			}
 		}
 		if p.Halted() {
-			if _, ok := e.decided[id]; !ok {
+			if !e.decided[i] {
 				return fmt.Errorf("%w (process p%d, round %d)", ErrHaltedWithoutDecision, id, r)
 			}
-			if !e.halted[id] {
-				e.halted[id] = true
-				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindHalt, From: int(id)})
+			if !e.halted[i] {
+				e.halted[i] = true
+				e.aliveUnhalted--
+				if e.cfg.Trace.Enabled() {
+					e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindHalt, From: int(id)})
+				}
 			}
 		}
 	}
 	// Messages addressed to processes that crashed this round are dropped.
-	for id := range crashedNow {
-		delete(e.inbox, id)
+	for i, c := range e.crashedNow {
+		if c {
+			e.inbox[i] = e.inbox[i][:0]
+		}
 	}
 	return nil
+}
+
+// emitAll queues every message of a plan for delivery: the no-crash fast
+// path, equivalent to emit with FullDelivery(plan) but without materializing
+// the delivered-subset mask.
+func (e *Engine) emitAll(from ProcID, r Round, plan SendPlan) {
+	for _, o := range plan.Data {
+		m := Message{From: from, To: o.To, Round: r, Kind: Data, Payload: o.Payload}
+		e.ctr.AddData(m.Bits())
+		e.deliver(m)
+	}
+	for _, to := range plan.Control {
+		m := Message{From: from, To: to, Round: r, Kind: Control}
+		e.ctr.AddCtrl()
+		e.deliver(m)
+	}
 }
 
 // emit applies a (possibly truncating) crash outcome to a send plan, queueing
 // the surviving messages for delivery and accounting costs.
 func (e *Engine) emit(from ProcID, r Round, plan SendPlan, out CrashOutcome) {
 	for i, o := range plan.Data {
-		m := Message{From: from, To: o.To, Round: r, Kind: Data, Payload: o.Payload}
 		if !out.DataDelivered[i] {
 			e.ctr.DroppedData++
-			e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDrop,
-				From: int(from), To: int(o.To), Detail: "data"})
+			if e.cfg.Trace.Enabled() {
+				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDrop,
+					From: int(from), To: int(o.To), Detail: "data"})
+			}
 			continue
 		}
+		m := Message{From: from, To: o.To, Round: r, Kind: Data, Payload: o.Payload}
 		e.ctr.AddData(m.Bits())
 		e.deliver(m)
 	}
 	for i, to := range plan.Control {
 		if i >= out.CtrlPrefix {
 			e.ctr.DroppedCtrl++
-			e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDrop,
-				From: int(from), To: int(to), Detail: "control"})
+			if e.cfg.Trace.Enabled() {
+				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDrop,
+					From: int(from), To: int(to), Detail: "control"})
+			}
 			continue
 		}
 		m := Message{From: from, To: to, Round: r, Kind: Control}
@@ -292,11 +407,15 @@ func (e *Engine) emit(from ProcID, r Round, plan SendPlan, out CrashOutcome) {
 // round. Messages to already-crashed processes vanish, as do messages the
 // lossy-channel hook (ablation only) decides to drop.
 func (e *Engine) deliver(m Message) {
-	e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindSend,
-		From: int(m.From), To: int(m.To), Detail: m.Kind.String()})
+	if e.cfg.Trace.Enabled() {
+		e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindSend,
+			From: int(m.From), To: int(m.To), Detail: m.Kind.String()})
+	}
 	if e.cfg.Loss != nil && e.cfg.Loss(m) {
-		e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindDrop,
-			From: int(m.From), To: int(m.To), Detail: m.Kind.String() + " (channel loss)"})
+		if e.cfg.Trace.Enabled() {
+			e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindDrop,
+				From: int(m.From), To: int(m.To), Detail: m.Kind.String() + " (channel loss)"})
+		}
 		if m.Kind == Control {
 			e.ctr.DroppedCtrl++
 		} else {
@@ -304,24 +423,41 @@ func (e *Engine) deliver(m Message) {
 		}
 		return
 	}
-	if !e.alive[m.To] {
+	i := int(m.To) - 1
+	if !e.alive[i] {
 		return
 	}
-	e.inbox[m.To] = append(e.inbox[m.To], m)
-	e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindDeliver,
-		From: int(m.From), To: int(m.To), Detail: m.Kind.String()})
+	e.inbox[i] = append(e.inbox[i], m)
+	if e.cfg.Trace.Enabled() {
+		e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindDeliver,
+			From: int(m.From), To: int(m.To), Detail: m.Kind.String()})
+	}
 }
 
 // sortInbox orders an inbox deterministically: by sender, data before
 // control. Protocol behaviour must not depend on the order, but determinism
-// keeps executions reproducible bit-for-bit.
+// keeps executions reproducible bit-for-bit. Inboxes are small (at most a few
+// messages per sender), so a stable insertion sort beats sort.SliceStable and
+// performs no allocations.
 func sortInbox(in []Message) {
-	sort.SliceStable(in, func(i, j int) bool {
-		if in[i].From != in[j].From {
-			return in[i].From < in[j].From
+	for i := 1; i < len(in); i++ {
+		m := in[i]
+		j := i - 1
+		for j >= 0 && msgAfter(in[j], m) {
+			in[j+1] = in[j]
+			j--
 		}
-		return in[i].Kind < in[j].Kind
-	})
+		in[j+1] = m
+	}
+}
+
+// msgAfter reports whether a orders strictly after b: by sender, then data
+// before control. Equal keys return false, which keeps the insertion stable.
+func msgAfter(a, b Message) bool {
+	if a.From != b.From {
+		return a.From > b.From
+	}
+	return a.Kind > b.Kind
 }
 
 // subsetString renders a delivered-subset mask compactly, e.g. "{1,3}/4".

@@ -178,7 +178,9 @@ type Process interface {
 	// send phase precedes the receive phase).
 	Send(r Round) SendPlan
 	// Receive delivers the messages received in round r and runs the local
-	// computation phase.
+	// computation phase. The inbox slice is only valid for the duration of
+	// the call: the engine recycles its backing array for later rounds, so
+	// implementations must copy any messages they need to retain.
 	Receive(r Round, inbox []Message)
 	// Decided reports whether the process has decided, and the value.
 	Decided() (Value, bool)

@@ -86,6 +86,11 @@ type Log struct {
 // New returns an empty log.
 func New() *Log { return &Log{} }
 
+// Enabled reports whether events are being recorded. It is nil-receiver safe:
+// a nil *Log reports false. Engines use it to skip building events (and their
+// detail strings) entirely on the no-trace hot path.
+func (l *Log) Enabled() bool { return l != nil }
+
 // Add appends an event. Add on a nil log is a no-op.
 func (l *Log) Add(e Event) {
 	if l == nil {

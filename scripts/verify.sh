@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# verify.sh — the tier-1 verification path: build, vet, test. Run before
+# every commit; the exploration differential tests additionally run under the
+# race detector (they exercise the parallel explorer).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (parallel explorer differential tests)"
+go test -race -run 'ExploreParallel' ./internal/check/ ./agree/
+
+echo "verify: OK"
