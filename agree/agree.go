@@ -23,16 +23,13 @@ import (
 	"fmt"
 
 	"repro/internal/adversary"
-	"repro/internal/check"
 	"repro/internal/consensus/earlystop"
 	"repro/internal/consensus/floodset"
 	"repro/internal/core"
-	"repro/internal/diagram"
-	"repro/internal/lockstep"
+	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simulate"
-	"repro/internal/trace"
 )
 
 // Protocol selects the consensus algorithm.
@@ -137,6 +134,12 @@ func (f FaultSpec) build() sim.Adversary {
 	}
 }
 
+// orderInsensitive reports whether the spec's adversary is a pure function
+// of (process, round). Cross-engine comparison requires it: the lockstep
+// runtime consults the adversary in goroutine scheduling order, so a
+// stateful randomized adversary can legitimately diverge between engines.
+func (f FaultSpec) orderInsensitive() bool { return f.kind != "random" }
+
 // Config configures a run.
 type Config struct {
 	// N is the number of processes (required).
@@ -207,10 +210,20 @@ func (r *Report) MaxDecideRound() int {
 	return max
 }
 
-// Run executes one consensus instance and validates it.
+// Run executes one consensus instance and validates it. It is the
+// single-config path of the sweep runner: the engine is resolved through
+// the harness registry — never by a switch in this package — but the batch
+// scaffolding (report slice, aggregate fold) is skipped, keeping the
+// library's primary entry point lean.
 func Run(cfg Config) (*Report, error) {
+	return runConfig(cfg, harness.NewCache())
+}
+
+// normalize validates a config, fills in the defaults, and materializes the
+// proposal vector. It returns the normalized copy.
+func normalize(cfg Config) (Config, []sim.Value, error) {
 	if cfg.N < 1 {
-		return nil, errors.New("agree: N must be at least 1")
+		return cfg, nil, errors.New("agree: N must be at least 1")
 	}
 	if cfg.Protocol == "" {
 		cfg.Protocol = ProtocolCRW
@@ -224,88 +237,21 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.N == 1 {
 		cfg.T = 0
 	}
+	if cfg.Diagram {
+		cfg.Trace = true
+	}
 	proposals := make([]sim.Value, cfg.N)
 	for i := range proposals {
 		if cfg.Proposals != nil {
 			if len(cfg.Proposals) != cfg.N {
-				return nil, fmt.Errorf("agree: %d proposals for %d processes", len(cfg.Proposals), cfg.N)
+				return cfg, nil, fmt.Errorf("agree: %d proposals for %d processes", len(cfg.Proposals), cfg.N)
 			}
 			proposals[i] = sim.Value(cfg.Proposals[i])
 		} else {
 			proposals[i] = sim.Value(100 + i)
 		}
 	}
-
-	procs, model, horizon, err := buildProtocol(cfg, proposals)
-	if err != nil {
-		return nil, err
-	}
-
-	adv := cfg.Faults.build()
-	if cfg.Diagram {
-		cfg.Trace = true
-	}
-	var res *sim.Result
-	var log *trace.Log
-	switch cfg.Engine {
-	case EngineDeterministic:
-		if cfg.Trace {
-			log = trace.New()
-		}
-		eng, err := sim.NewEngine(sim.Config{Model: model, Horizon: horizon, Trace: log}, procs, adv)
-		if err != nil {
-			return nil, err
-		}
-		res, err = eng.Run()
-		if err != nil {
-			return nil, err
-		}
-	case EngineLockstep:
-		if cfg.Trace {
-			return nil, errors.New("agree: tracing requires the deterministic engine")
-		}
-		rt, err := lockstep.New(lockstep.Config{Model: model, Horizon: horizon}, procs, adv)
-		if err != nil {
-			return nil, err
-		}
-		res, err = rt.Run()
-		if err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("agree: unknown engine %q", cfg.Engine)
-	}
-
-	rep := &Report{
-		Rounds:       int(res.Rounds),
-		MacroRounds:  int(res.Rounds),
-		Decisions:    make(map[int]int64, len(res.Decisions)),
-		DecideRound:  make(map[int]int, len(res.DecideRound)),
-		Crashed:      make(map[int]int, len(res.Crashed)),
-		Counters:     res.Counters,
-		ConsensusErr: check.Consensus(proposals, res),
-	}
-	if cfg.SimulateOnClassic {
-		rep.MacroRounds = int(simulate.MacroRound(res.Rounds, cfg.N))
-	}
-	for id, v := range res.Decisions {
-		rep.Decisions[int(id)] = int64(v)
-		dr := res.DecideRound[id]
-		if cfg.SimulateOnClassic {
-			dr = simulate.MacroRound(dr, cfg.N)
-		}
-		rep.DecideRound[int(id)] = int(dr)
-	}
-	for id, r := range res.Crashed {
-		rep.Crashed[int(id)] = int(r)
-	}
-	if log != nil {
-		rep.Transcript = log.String()
-		if cfg.Diagram {
-			rep.Diagram = diagram.Render(log, cfg.N)
-		}
-	}
-	return rep, nil
+	return cfg, proposals, nil
 }
 
 // buildProtocol constructs the process set, model, and horizon for a config.

@@ -1,0 +1,265 @@
+package agree
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/diagram"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/simulate"
+	"repro/internal/trace"
+)
+
+// SweepOptions tunes a batch execution.
+type SweepOptions struct {
+	// Workers is the worker-pool size: 0 means GOMAXPROCS, 1 runs the batch
+	// sequentially on the calling goroutine. Reports are returned in input
+	// order and are identical for every worker count.
+	Workers int
+	// CrossCheck additionally runs every configuration on each other
+	// registered engine that supports it and diffs the semantic outcome
+	// (rounds, decisions, crash set, traffic counters) against the primary
+	// report; a divergence surfaces as the item's Err. Configurations with
+	// an order-sensitive fault spec (RandomFaults) are skipped — their
+	// CrossChecked list stays empty.
+	CrossCheck bool
+}
+
+// SweepItem is the outcome of one configuration of a sweep.
+type SweepItem struct {
+	// Config is the configuration as submitted.
+	Config Config
+	// Report is the validated report; nil when Err is a configuration or
+	// engine error (it is retained alongside a cross-check divergence Err).
+	Report *Report
+	// Err is the run error, if any: invalid configuration, engine failure,
+	// or cross-check divergence.
+	Err error
+	// CrossChecked lists the engines the report was additionally verified
+	// against when SweepOptions.CrossCheck was set.
+	CrossChecked []EngineKind
+}
+
+// SweepAggregate summarizes a sweep.
+type SweepAggregate struct {
+	// Configs is the number of configurations submitted.
+	Configs int
+	// Errored counts items whose Err is non-nil.
+	Errored int
+	// Violations counts error-free reports whose ConsensusErr is non-nil.
+	Violations int
+	// CrossChecked counts error-free items verified on at least one other
+	// engine.
+	CrossChecked int
+	// RoundHistogram maps the latest decision round (macro rounds under
+	// simulation) to the number of error-free runs that decided there.
+	RoundHistogram map[int]int
+	// Counters accumulates the traffic counters of every error-free run;
+	// items with a non-nil Err (including cross-check divergences, which
+	// keep their primary report) are excluded from all report-derived
+	// aggregates.
+	Counters metrics.Counters
+}
+
+// SweepReport is the result of a Sweep: per-configuration items in input
+// order plus the aggregate.
+type SweepReport struct {
+	Items     []SweepItem
+	Aggregate SweepAggregate
+}
+
+// Sweep executes a batch of configurations across a worker pool. Each worker
+// owns one engine per engine kind and rewinds it between configurations
+// (sim.Engine.Reset), so a sweep of a thousand scenarios constructs a
+// handful of engines. Items are returned in input order, bit-identical for
+// every worker count; per-configuration failures are reported in the item,
+// never by panicking or aborting the rest of the batch.
+func Sweep(configs []Config, opts SweepOptions) *SweepReport {
+	sr := &SweepReport{Items: make([]SweepItem, len(configs))}
+	harness.ForEach(len(configs), opts.Workers, func(cache *harness.Cache, i int) {
+		item := &sr.Items[i]
+		item.Config = configs[i]
+		item.Report, item.Err = runConfig(configs[i], cache)
+		if item.Err != nil || !opts.CrossCheck {
+			return
+		}
+		item.CrossChecked, item.Err = crossCheck(configs[i], item.Report, cache)
+	})
+	agg := &sr.Aggregate
+	agg.Configs = len(configs)
+	agg.RoundHistogram = make(map[int]int)
+	for i := range sr.Items {
+		item := &sr.Items[i]
+		if item.Err != nil {
+			// Errored items — including cross-check divergences, which
+			// retain their primary report — contribute nothing else: the
+			// histogram, counters and violation count cover exactly the
+			// error-free runs.
+			agg.Errored++
+			continue
+		}
+		if len(item.CrossChecked) > 0 {
+			agg.CrossChecked++
+		}
+		if item.Report.ConsensusErr != nil {
+			agg.Violations++
+		}
+		agg.RoundHistogram[item.Report.MaxDecideRound()]++
+		agg.Counters.Merge(item.Report.Counters)
+	}
+	return sr
+}
+
+// runConfig executes one configuration on an engine drawn from the worker's
+// cache and assembles the validated report.
+func runConfig(cfg Config, cache *harness.Cache) (*Report, error) {
+	cfg, proposals, err := normalize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	kind := harness.Kind(cfg.Engine)
+	caps, ok := harness.Lookup(kind)
+	if !ok {
+		return nil, fmt.Errorf("agree: unknown engine %q", cfg.Engine)
+	}
+	if cfg.Trace && !caps.Trace {
+		feature := "Trace"
+		if cfg.Diagram {
+			feature = "Diagram"
+		}
+		return nil, fmt.Errorf("agree: Config.%s is not supported by engine %q (engine lacks the trace capability)",
+			feature, cfg.Engine)
+	}
+	procs, model, horizon, err := buildProtocol(cfg, proposals)
+	if err != nil {
+		return nil, err
+	}
+	var log *trace.Log
+	if cfg.Trace {
+		log = trace.New()
+	}
+	eng, err := cache.Get(kind)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run(harness.Job{
+		Model:   model,
+		Horizon: horizon,
+		Procs:   procs,
+		Adv:     cfg.Faults.build(),
+		Trace:   log,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Rounds:       int(res.Rounds),
+		MacroRounds:  int(res.Rounds),
+		Decisions:    make(map[int]int64, len(res.Decisions)),
+		DecideRound:  make(map[int]int, len(res.DecideRound)),
+		Crashed:      make(map[int]int, len(res.Crashed)),
+		Counters:     res.Counters,
+		ConsensusErr: check.Consensus(proposals, res),
+	}
+	if cfg.SimulateOnClassic {
+		rep.MacroRounds = int(simulate.MacroRound(res.Rounds, cfg.N))
+	}
+	for id, v := range res.Decisions {
+		rep.Decisions[int(id)] = int64(v)
+		dr := res.DecideRound[id]
+		if cfg.SimulateOnClassic {
+			dr = simulate.MacroRound(dr, cfg.N)
+		}
+		rep.DecideRound[int(id)] = int(dr)
+	}
+	for id, r := range res.Crashed {
+		rep.Crashed[int(id)] = int(r)
+	}
+	if log != nil {
+		rep.Transcript = log.String()
+		if cfg.Diagram {
+			rep.Diagram = diagram.Render(log, cfg.N)
+		}
+	}
+	return rep, nil
+}
+
+// crossCheck re-runs cfg on every other registered engine that supports it
+// and diffs the semantic outcome against the primary report. It returns the
+// engines compared; a non-nil error reports the first divergence (or a
+// reference-engine failure). Order-sensitive fault specs are skipped
+// entirely — comparing engines that consult a stateful adversary in
+// different orders proves nothing.
+func crossCheck(cfg Config, primary *Report, cache *harness.Cache) ([]EngineKind, error) {
+	if !cfg.Faults.orderInsensitive() {
+		return nil, nil
+	}
+	primaryKind := cfg.Engine
+	if primaryKind == "" {
+		primaryKind = EngineDeterministic
+	}
+	var checked []EngineKind
+	for _, kind := range harness.Kinds() {
+		if kind == harness.Kind(primaryKind) {
+			continue
+		}
+		ref := cfg
+		ref.Engine = EngineKind(kind)
+		ref.Trace, ref.Diagram = false, false
+		refRep, err := runConfig(ref, cache)
+		if err != nil {
+			return checked, fmt.Errorf("agree: crosscheck on engine %q: %w", kind, err)
+		}
+		if diff := diffReports(primary, refRep); diff != "" {
+			return checked, fmt.Errorf("agree: crosscheck divergence between engines %q and %q: %s",
+				primaryKind, kind, diff)
+		}
+		checked = append(checked, EngineKind(kind))
+	}
+	return checked, nil
+}
+
+// diffReports compares the semantic fields of two reports of the same
+// configuration and returns a description of the first difference, or "".
+// Transcript and Diagram are presentation artifacts of trace-capable
+// engines and are deliberately excluded.
+func diffReports(a, b *Report) string {
+	if a.Rounds != b.Rounds {
+		return fmt.Sprintf("rounds %d vs %d", a.Rounds, b.Rounds)
+	}
+	if a.MacroRounds != b.MacroRounds {
+		return fmt.Sprintf("macro rounds %d vs %d", a.MacroRounds, b.MacroRounds)
+	}
+	if len(a.Decisions) != len(b.Decisions) {
+		return fmt.Sprintf("%d vs %d deciders", len(a.Decisions), len(b.Decisions))
+	}
+	for id, v := range a.Decisions {
+		bv, ok := b.Decisions[id]
+		if !ok {
+			return fmt.Sprintf("p%d decided only on one engine", id)
+		}
+		if v != bv {
+			return fmt.Sprintf("p%d decided %d vs %d", id, v, bv)
+		}
+		if a.DecideRound[id] != b.DecideRound[id] {
+			return fmt.Sprintf("p%d decide round %d vs %d", id, a.DecideRound[id], b.DecideRound[id])
+		}
+	}
+	if len(a.Crashed) != len(b.Crashed) {
+		return fmt.Sprintf("%d vs %d crashes", len(a.Crashed), len(b.Crashed))
+	}
+	for id, r := range a.Crashed {
+		if br, ok := b.Crashed[id]; !ok || r != br {
+			return fmt.Sprintf("p%d crash round %d vs %d", id, r, br)
+		}
+	}
+	if a.Counters != b.Counters {
+		return fmt.Sprintf("counters %s vs %s", a.Counters.String(), b.Counters.String())
+	}
+	if (a.ConsensusErr == nil) != (b.ConsensusErr == nil) {
+		return fmt.Sprintf("consensus verdict %v vs %v", a.ConsensusErr, b.ConsensusErr)
+	}
+	return ""
+}

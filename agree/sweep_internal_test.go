@@ -1,0 +1,62 @@
+package agree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// report returns a small consistent report for diff tests.
+func testReport() *Report {
+	return &Report{
+		Rounds:      3,
+		MacroRounds: 3,
+		Decisions:   map[int]int64{1: 7, 2: 7, 3: 7},
+		DecideRound: map[int]int{1: 3, 2: 3, 3: 2},
+		Crashed:     map[int]int{2: 1},
+		Counters:    metrics.Counters{DataMsgs: 6, DataBits: 384, CtrlMsgs: 2, CtrlBits: 2, Rounds: 3},
+	}
+}
+
+// TestDiffReports exercises the cross-check comparator field by field: equal
+// reports produce no diff, and each semantic divergence is caught and named.
+func TestDiffReports(t *testing.T) {
+	if d := diffReports(testReport(), testReport()); d != "" {
+		t.Errorf("identical reports diff: %s", d)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Report)
+		mention string
+	}{
+		{"rounds", func(r *Report) { r.Rounds = 4 }, "rounds"},
+		{"macro", func(r *Report) { r.MacroRounds = 1 }, "macro"},
+		{"decision value", func(r *Report) { r.Decisions[1] = 9 }, "decided"},
+		{"decider set", func(r *Report) { delete(r.Decisions, 3) }, "deciders"},
+		{"decide round", func(r *Report) { r.DecideRound[3] = 3 }, "decide round"},
+		{"crash set", func(r *Report) { delete(r.Crashed, 2) }, "crashes"},
+		{"crash round", func(r *Report) { r.Crashed[2] = 2 }, "crash round"},
+		{"counters", func(r *Report) { r.Counters.DataMsgs = 5 }, "counters"},
+		{"verdict", func(r *Report) { r.ConsensusErr = errors.New("disagreement") }, "verdict"},
+	}
+	for _, c := range cases {
+		mutated := testReport()
+		c.mutate(mutated)
+		d := diffReports(testReport(), mutated)
+		if d == "" {
+			t.Errorf("%s: divergence not detected", c.name)
+			continue
+		}
+		if !strings.Contains(d, c.mention) {
+			t.Errorf("%s: diff %q does not mention %q", c.name, d, c.mention)
+		}
+	}
+	// Transcript and diagram are presentation-only and must not diff.
+	withTrace := testReport()
+	withTrace.Transcript, withTrace.Diagram = "transcript", "diagram"
+	if d := diffReports(withTrace, testReport()); d != "" {
+		t.Errorf("presentation fields diffed: %s", d)
+	}
+}

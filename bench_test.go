@@ -372,6 +372,52 @@ func BenchmarkE10Ablation(b *testing.B) {
 	b.ReportMetric(float64(found), "counterexamples")
 }
 
+// sweepBenchConfigs is the BenchmarkSweep workload: 64 CRW scenarios at
+// n=16 cycling through worst-case fault counts f = 0..7, the shape of a
+// fault-sweep campaign.
+func sweepBenchConfigs() []agree.Config {
+	configs := make([]agree.Config, 64)
+	for i := range configs {
+		configs[i] = agree.Config{N: 16, Faults: agree.CoordinatorCrashes(i % 8)}
+	}
+	return configs
+}
+
+// BenchmarkSweep times the scenario-sweep harness against the pre-harness
+// idiom (one agree.Run per config, paying engine construction every call).
+// The workers=1 variant isolates the engine-reuse dividend (same work, one
+// engine); the parallel variant adds the worker pool (speedup scales with
+// core count — on one CPU it degrades to the sequential path). Each variant
+// reports configs/sec as its domain throughput metric.
+func BenchmarkSweep(b *testing.B) {
+	configs := sweepBenchConfigs()
+	batch := float64(len(configs))
+	b.Run("repeated-run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range configs {
+				run(b, cfg)
+			}
+		}
+		b.ReportMetric(batch*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+	})
+	b.Run("workers=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if sr := agree.Sweep(configs, agree.SweepOptions{Workers: 1}); sr.Aggregate.Errored != 0 {
+				b.Fatal("sweep errored")
+			}
+		}
+		b.ReportMetric(batch*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if sr := agree.Sweep(configs, agree.SweepOptions{}); sr.Aggregate.Errored != 0 {
+				b.Fatal("sweep errored")
+			}
+		}
+		b.ReportMetric(batch*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+	})
+}
+
 // BenchmarkLockstepEngine times the goroutine runtime against the
 // deterministic engine's workload (n=32, f=4): the cost of real concurrency.
 func BenchmarkLockstepEngine(b *testing.B) {

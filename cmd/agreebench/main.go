@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	agreebench            # run every experiment
-//	agreebench -e E3      # run one experiment
-//	agreebench -list      # list experiment ids and titles
+//	agreebench                 # run every experiment
+//	agreebench -e E3           # run one experiment
+//	agreebench -list           # list experiment ids and titles
+//	agreebench -workers 8      # fan batched experiments across 8 sweep workers
+//	agreebench -crosscheck     # additionally validate every batched run on
+//	                           # every other registered engine
 package main
 
 import (
@@ -14,13 +17,18 @@ import (
 	"fmt"
 	"os"
 
+	"repro/agree"
 	"repro/internal/experiments"
 )
 
 func main() {
 	exp := flag.String("e", "", "experiment id to run (E1..E10); empty runs all")
 	list := flag.Bool("list", false, "list experiments and exit")
+	workers := flag.Int("workers", 1, "sweep worker-pool size for batched experiments (0 = GOMAXPROCS)")
+	crosscheck := flag.Bool("crosscheck", false, "cross-validate batched runs on every other registered engine")
 	flag.Parse()
+
+	experiments.SetSweepOptions(agree.SweepOptions{Workers: *workers, CrossCheck: *crosscheck})
 
 	if *list {
 		for _, t := range experiments.All() {

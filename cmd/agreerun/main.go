@@ -9,6 +9,8 @@
 //	agreerun -n 6 -protocol earlystop -f 1  # classic baseline
 //	agreerun -n 6 -random -seed 7 -prob 0.3 # randomized fault injection
 //	agreerun -n 6 -engine lockstep          # goroutine runtime
+//	agreerun -n 6 -f 2 -crosscheck          # validate the run on every engine
+//	agreerun -n 8 -fsweep 7 -workers 4      # sweep f=0..7 across 4 workers
 package main
 
 import (
@@ -35,8 +37,20 @@ func main() {
 		bits     = flag.Int("bits", 64, "proposal bit width b")
 		quiet    = flag.Bool("quiet", false, "suppress the transcript")
 		diag     = flag.Bool("diagram", false, "render a space-time diagram instead of the raw transcript")
+		crosschk = flag.Bool("crosscheck", false, "re-run on every other registered engine and diff the outcomes")
+		workers  = flag.Int("workers", 1, "worker-pool size for -fsweep (0 = GOMAXPROCS)")
+		fsweep   = flag.Int("fsweep", -1, "sweep coordinator crashes f=0..fsweep and print one row per f (ignores the single-run fault flags)")
 	)
 	flag.Parse()
+
+	if *fsweep >= 0 {
+		if *random || *f > 0 || *deliver || *diag {
+			fmt.Fprintln(os.Stderr, "agreerun: -fsweep always sweeps silent coordinator crashes; it cannot be combined with -random/-f/-deliver/-diagram")
+			os.Exit(1)
+		}
+		runSweep(*n, *tt, *protocol, *engine, *bits, *fsweep, *workers, *crosschk, *simulate)
+		return
+	}
 
 	faults := agree.NoFaults()
 	switch {
@@ -59,11 +73,12 @@ func main() {
 		Trace:             !*quiet && agree.EngineKind(*engine) == agree.EngineDeterministic,
 		Diagram:           *diag && agree.EngineKind(*engine) == agree.EngineDeterministic,
 	}
-	rep, err := agree.Run(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "agreerun:", err)
+	item := agree.Sweep([]agree.Config{cfg}, agree.SweepOptions{Workers: 1, CrossCheck: *crosschk}).Items[0]
+	if item.Err != nil {
+		fmt.Fprintln(os.Stderr, "agreerun:", item.Err)
 		os.Exit(1)
 	}
+	rep := item.Report
 	switch {
 	case rep.Diagram != "":
 		fmt.Print(rep.Diagram)
@@ -78,11 +93,61 @@ func main() {
 	fmt.Printf("rounds      %d (last decision at round %d)\n", rep.MacroRounds, rep.MaxDecideRound())
 	fmt.Printf("decisions   %v\n", rep.Decisions)
 	fmt.Printf("traffic     %s\n", rep.Counters.String())
+	if len(item.CrossChecked) > 0 {
+		fmt.Printf("crosscheck  consistent on %v\n", item.CrossChecked)
+	} else if *crosschk {
+		fmt.Println("crosscheck  skipped (order-sensitive fault spec)")
+	}
 	if rep.ConsensusErr != nil {
 		fmt.Printf("VERDICT     VIOLATION: %v\n", rep.ConsensusErr)
 		os.Exit(2)
 	}
 	fmt.Println("VERDICT     uniform consensus holds")
+}
+
+// runSweep executes the -fsweep mode: coordinator-killer scenarios f=0..max
+// as one parallel sweep, one table row per fault count.
+func runSweep(n, tt int, protocol, engine string, bits, max, workers int, crosscheck, simulate bool) {
+	configs := make([]agree.Config, 0, max+1)
+	for f := 0; f <= max; f++ {
+		configs = append(configs, agree.Config{
+			N:                 n,
+			T:                 tt,
+			Protocol:          agree.Protocol(protocol),
+			Engine:            agree.EngineKind(engine),
+			Bits:              bits,
+			Faults:            agree.CoordinatorCrashes(f),
+			SimulateOnClassic: simulate,
+		})
+	}
+	sr := agree.Sweep(configs, agree.SweepOptions{Workers: workers, CrossCheck: crosscheck})
+	fmt.Printf("sweep: %s on n=%d, f=0..%d (%d workers requested)\n\n", protocol, n, max, workers)
+	fmt.Printf("%-4s %-7s %-9s %-10s %-9s\n", "f", "rounds", "messages", "crosscheck", "verdict")
+	failed := false
+	for i, item := range sr.Items {
+		if item.Err != nil {
+			fmt.Printf("%-4d %v\n", i, item.Err)
+			failed = true
+			continue
+		}
+		verdict := "ok"
+		if item.Report.ConsensusErr != nil {
+			verdict = "VIOLATION"
+			failed = true
+		}
+		xc := "-"
+		if len(item.CrossChecked) > 0 {
+			xc = "ok"
+		}
+		fmt.Printf("%-4d %-7d %-9d %-10s %-9s\n", item.Report.Faults(), item.Report.MaxDecideRound(),
+			item.Report.Counters.TotalMsgs(), xc, verdict)
+	}
+	agg := sr.Aggregate
+	fmt.Printf("\naggregate: %d configs, %d errors, %d violations, rounds histogram %v, %s\n",
+		agg.Configs, agg.Errored, agg.Violations, agg.RoundHistogram, agg.Counters.String())
+	if failed {
+		os.Exit(2)
+	}
 }
 
 // keys returns the sorted crash set for display.

@@ -2,9 +2,14 @@
 // of crashes across all three protocols, validating uniform consensus on
 // every run and charting decision rounds and traffic. This is the workload
 // a downstream user would run to pick a protocol for a crash-prone cluster.
+//
+// The whole protocol × scenario matrix is submitted as one agree.Sweep
+// batch, so it parallelizes across -workers and can cross-validate every
+// deterministic scenario on the lockstep engine with -crosscheck.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,12 +17,12 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	crosscheck := flag.Bool("crosscheck", false, "cross-validate order-insensitive scenarios on every other engine")
+	flag.Parse()
+
 	const n = 12
 	t := n - 1
-
-	fmt.Printf("fault sweep on n=%d processes (t=%d)\n\n", n, t)
-	fmt.Printf("%-11s %-24s %-7s %-7s %-9s %-8s\n",
-		"protocol", "fault scenario", "f", "rounds", "messages", "verdict")
 
 	scenarios := []struct {
 		name   string
@@ -31,16 +36,34 @@ func main() {
 		{"random p=0.2 seed=1", agree.RandomFaults(1, 0.2, t)},
 		{"random p=0.4 seed=9", agree.RandomFaults(9, 0.4, t)},
 	}
+	protocols := []agree.Protocol{agree.ProtocolCRW, agree.ProtocolEarlyStop, agree.ProtocolFloodSet}
 
-	for _, p := range []agree.Protocol{agree.ProtocolCRW, agree.ProtocolEarlyStop, agree.ProtocolFloodSet} {
+	// One flat batch: protocol-major, scenario-minor — the same order the
+	// report is printed in.
+	var configs []agree.Config
+	for _, p := range protocols {
 		for _, sc := range scenarios {
-			rep, err := agree.Run(agree.Config{N: n, T: t, Protocol: p, Faults: sc.faults})
-			if err != nil {
-				log.Fatalf("%s/%s: %v", p, sc.name, err)
+			configs = append(configs, agree.Config{N: n, T: t, Protocol: p, Faults: sc.faults})
+		}
+	}
+	sr := agree.Sweep(configs, agree.SweepOptions{Workers: *workers, CrossCheck: *crosscheck})
+
+	fmt.Printf("fault sweep on n=%d processes (t=%d)\n\n", n, t)
+	fmt.Printf("%-11s %-24s %-7s %-7s %-9s %-8s\n",
+		"protocol", "fault scenario", "f", "rounds", "messages", "verdict")
+	for pi, p := range protocols {
+		for si, sc := range scenarios {
+			item := sr.Items[pi*len(scenarios)+si]
+			if item.Err != nil {
+				log.Fatalf("%s/%s: %v", p, sc.name, item.Err)
 			}
+			rep := item.Report
 			verdict := "ok"
 			if rep.ConsensusErr != nil {
 				verdict = "VIOLATION"
+			}
+			if len(item.CrossChecked) > 0 {
+				verdict += " (x-checked)"
 			}
 			fmt.Printf("%-11s %-24s %-7d %-7d %-9d %-8s\n",
 				p, sc.name, rep.Faults(), rep.MaxDecideRound(), rep.Counters.TotalMsgs(), verdict)
@@ -48,6 +71,10 @@ func main() {
 		fmt.Println()
 	}
 
+	agg := sr.Aggregate
+	fmt.Printf("aggregate: %d runs, %d violations, rounds histogram %v\n",
+		agg.Configs, agg.Violations, agg.RoundHistogram)
+	fmt.Printf("traffic:   %s\n\n", agg.Counters.String())
 	fmt.Println("Reading: CRW tracks f+1 exactly and transmits O(n) messages per round;")
 	fmt.Println("the classic baselines pay one extra round (early stopping) or always t+1")
 	fmt.Println("rounds and Θ(n²) messages per round (flooding).")

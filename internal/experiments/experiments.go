@@ -11,7 +11,20 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/agree"
 )
+
+// sweepOpts are the agree.Sweep options applied by the experiments that
+// batch their configurations through the sweep harness (E1, E4, E9).
+// cmd/agreebench sets them from its -workers / -crosscheck flags.
+var sweepOpts agree.SweepOptions
+
+// SetSweepOptions configures how the batched experiments execute: worker
+// count for the parallel sweep and cross-engine checking. The tables
+// produced are identical for every option combination (the sweep is
+// deterministic); only wall-clock time and the depth of validation change.
+func SetSweepOptions(o agree.SweepOptions) { sweepOpts = o }
 
 // Table is a rendered experiment result.
 type Table struct {

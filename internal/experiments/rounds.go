@@ -20,39 +20,56 @@ func E1RoundsVsFaults() *Table {
 		Claim:   "decision in at most f+1 rounds; exactly 1 round when p1 does not crash (Theorem 1)",
 		Columns: []string{"n", "f", "rounds", "f+1", "match"},
 	}
-	ok := true
+	// The whole matrix is submitted as one batch: the worst-case grid plus
+	// the one-round scripted cases (crash high-id processes, keep p1 alive).
+	type spec struct {
+		n, f     int
+		nonCoord bool
+	}
+	var specs []spec
+	var configs []agree.Config
 	for _, n := range []int{4, 8, 16, 32, 64} {
 		for _, f := range []int{0, 1, 2, 3, n / 2, n - 1} {
 			if f >= n {
 				continue
 			}
-			rep, err := agree.Run(agree.Config{N: n, Protocol: agree.ProtocolCRW,
+			specs = append(specs, spec{n: n, f: f})
+			configs = append(configs, agree.Config{N: n, Protocol: agree.ProtocolCRW,
 				Faults: agree.CoordinatorCrashes(f)})
-			if err != nil {
-				t.AddRow(n, f, "error: "+err.Error(), f+1, false)
-				ok = false
-				continue
-			}
-			match := rep.ConsensusErr == nil && rep.MaxDecideRound() == f+1
-			ok = ok && match
-			t.AddRow(n, f, rep.MaxDecideRound(), f+1, match)
 		}
 	}
-	// The one-round case with crashes elsewhere: crash high-id processes,
-	// keep p1 alive.
 	for _, n := range []int{8, 32} {
-		rep, err := agree.Run(agree.Config{N: n, Protocol: agree.ProtocolCRW,
+		specs = append(specs, spec{n: n, nonCoord: true})
+		configs = append(configs, agree.Config{N: n, Protocol: agree.ProtocolCRW,
 			Faults: agree.ScriptedFaults(map[int]agree.CrashPlan{
 				n:     {Round: 1},
 				n - 1: {Round: 1},
 			})})
-		if err != nil {
+	}
+	sr := agree.Sweep(configs, sweepOpts)
+	ok := true
+	for i, sp := range specs {
+		item := sr.Items[i]
+		if sp.nonCoord {
+			if item.Err != nil {
+				ok = false
+				continue
+			}
+			rep := item.Report
+			match := rep.ConsensusErr == nil && rep.MaxDecideRound() == 1 && rep.Faults() == 2
+			ok = ok && match
+			t.AddRow(sp.n, fmt.Sprintf("%d (non-coord)", rep.Faults()), rep.MaxDecideRound(), 1, match)
+			continue
+		}
+		if item.Err != nil {
+			t.AddRow(sp.n, sp.f, "error: "+item.Err.Error(), sp.f+1, false)
 			ok = false
 			continue
 		}
-		match := rep.ConsensusErr == nil && rep.MaxDecideRound() == 1 && rep.Faults() == 2
+		rep := item.Report
+		match := rep.ConsensusErr == nil && rep.MaxDecideRound() == sp.f+1
 		ok = ok && match
-		t.AddRow(n, fmt.Sprintf("%d (non-coord)", rep.Faults()), rep.MaxDecideRound(), 1, match)
+		t.AddRow(sp.n, sp.f, rep.MaxDecideRound(), sp.f+1, match)
 	}
 	t.Verdict = verdict(ok, "rounds equal f+1 under the coordinator killer; 1 round when p1 survives")
 	return t
@@ -68,32 +85,45 @@ func E4Baselines() *Table {
 		Claim:   "f+1 vs min(f+2, t+1) vs t+1 (Section 1)",
 		Columns: []string{"n", "t", "f", "crw", "earlystop", "floodset", "f+1", "min(f+2,t+1)", "t+1"},
 	}
-	ok := true
+	// Each table row is a triple of configurations (one per protocol); the
+	// triples are flattened into a single sweep batch and read back with a
+	// stride of three.
+	type spec struct{ n, tt, f int }
+	var specs []spec
+	var configs []agree.Config
 	for _, n := range []int{4, 8, 16, 32} {
 		tt := n - 1
 		for _, f := range []int{0, 1, 2, n / 2} {
 			if f > tt {
 				continue
 			}
-			crw, err1 := agree.Run(agree.Config{N: n, Protocol: agree.ProtocolCRW,
-				Faults: agree.CoordinatorCrashes(f)})
-			es, err2 := agree.Run(agree.Config{N: n, T: tt, Protocol: agree.ProtocolEarlyStop,
-				Faults: agree.CoordinatorCrashes(f)})
-			fs, err3 := agree.Run(agree.Config{N: n, T: tt, Protocol: agree.ProtocolFloodSet,
-				Faults: agree.CoordinatorCrashes(f)})
-			if err1 != nil || err2 != nil || err3 != nil {
-				ok = false
-				continue
-			}
-			wantES := timing.ClassicOptimalRounds(f, tt)
-			rowOK := crw.MaxDecideRound() == f+1 &&
-				es.MaxDecideRound() <= wantES &&
-				fs.MaxDecideRound() == tt+1 &&
-				crw.ConsensusErr == nil && es.ConsensusErr == nil && fs.ConsensusErr == nil
-			ok = ok && rowOK
-			t.AddRow(n, tt, f, crw.MaxDecideRound(), es.MaxDecideRound(), fs.MaxDecideRound(),
-				f+1, wantES, tt+1)
+			specs = append(specs, spec{n: n, tt: tt, f: f})
+			configs = append(configs,
+				agree.Config{N: n, Protocol: agree.ProtocolCRW,
+					Faults: agree.CoordinatorCrashes(f)},
+				agree.Config{N: n, T: tt, Protocol: agree.ProtocolEarlyStop,
+					Faults: agree.CoordinatorCrashes(f)},
+				agree.Config{N: n, T: tt, Protocol: agree.ProtocolFloodSet,
+					Faults: agree.CoordinatorCrashes(f)})
 		}
+	}
+	sr := agree.Sweep(configs, sweepOpts)
+	ok := true
+	for i, sp := range specs {
+		crwIt, esIt, fsIt := sr.Items[3*i], sr.Items[3*i+1], sr.Items[3*i+2]
+		if crwIt.Err != nil || esIt.Err != nil || fsIt.Err != nil {
+			ok = false
+			continue
+		}
+		crw, es, fs := crwIt.Report, esIt.Report, fsIt.Report
+		wantES := timing.ClassicOptimalRounds(sp.f, sp.tt)
+		rowOK := crw.MaxDecideRound() == sp.f+1 &&
+			es.MaxDecideRound() <= wantES &&
+			fs.MaxDecideRound() == sp.tt+1 &&
+			crw.ConsensusErr == nil && es.ConsensusErr == nil && fs.ConsensusErr == nil
+		ok = ok && rowOK
+		t.AddRow(sp.n, sp.tt, sp.f, crw.MaxDecideRound(), es.MaxDecideRound(), fs.MaxDecideRound(),
+			sp.f+1, wantES, sp.tt+1)
 	}
 	t.Verdict = verdict(ok, "CRW always one round ahead of the classic early-stopping baseline")
 	return t
@@ -156,27 +186,38 @@ func E9Messages() *Table {
 		Claim:   "CRW sends O(n) messages per round (coordinator only) vs Θ(n²) for flooding (Theorem 2 proof)",
 		Columns: []string{"n", "f", "crw msgs", "crw bound", "earlystop msgs", "floodset msgs"},
 	}
-	ok := true
+	// Flattened protocol triples, like E4: one sweep batch, stride three.
+	type spec struct{ n, tt, f int }
+	var specs []spec
+	var configs []agree.Config
 	for _, n := range []int{4, 8, 16, 32} {
 		tt := n - 1
 		for _, f := range []int{0, 1, n / 4, n / 2} {
-			crw, err1 := agree.Run(agree.Config{N: n,
-				Faults: agree.CoordinatorCrashesDelivering(f, 0)})
-			es, err2 := agree.Run(agree.Config{N: n, T: tt, Protocol: agree.ProtocolEarlyStop,
-				Faults: agree.CoordinatorCrashes(f)})
-			fs, err3 := agree.Run(agree.Config{N: n, T: tt, Protocol: agree.ProtocolFloodSet,
-				Faults: agree.CoordinatorCrashes(f)})
-			if err1 != nil || err2 != nil || err3 != nil {
-				ok = false
-				continue
-			}
-			bound := core.WorstCaseDataMessages(n, tt) + core.WorstCaseCommitMessages(n, tt)
-			rowOK := crw.Counters.TotalMsgs() <= bound &&
-				crw.Counters.TotalMsgs() < fs.Counters.TotalMsgs()
-			ok = ok && rowOK
-			t.AddRow(n, f, crw.Counters.TotalMsgs(), bound,
-				es.Counters.TotalMsgs(), fs.Counters.TotalMsgs())
+			specs = append(specs, spec{n: n, tt: tt, f: f})
+			configs = append(configs,
+				agree.Config{N: n,
+					Faults: agree.CoordinatorCrashesDelivering(f, 0)},
+				agree.Config{N: n, T: tt, Protocol: agree.ProtocolEarlyStop,
+					Faults: agree.CoordinatorCrashes(f)},
+				agree.Config{N: n, T: tt, Protocol: agree.ProtocolFloodSet,
+					Faults: agree.CoordinatorCrashes(f)})
 		}
+	}
+	sr := agree.Sweep(configs, sweepOpts)
+	ok := true
+	for i, sp := range specs {
+		crwIt, esIt, fsIt := sr.Items[3*i], sr.Items[3*i+1], sr.Items[3*i+2]
+		if crwIt.Err != nil || esIt.Err != nil || fsIt.Err != nil {
+			ok = false
+			continue
+		}
+		crw, es, fs := crwIt.Report, esIt.Report, fsIt.Report
+		bound := core.WorstCaseDataMessages(sp.n, sp.tt) + core.WorstCaseCommitMessages(sp.n, sp.tt)
+		rowOK := crw.Counters.TotalMsgs() <= bound &&
+			crw.Counters.TotalMsgs() < fs.Counters.TotalMsgs()
+		ok = ok && rowOK
+		t.AddRow(sp.n, sp.f, crw.Counters.TotalMsgs(), bound,
+			es.Counters.TotalMsgs(), fs.Counters.TotalMsgs())
 	}
 	t.Verdict = verdict(ok, "coordinator-based CRW transmits far fewer messages than flooding")
 	return t

@@ -1,0 +1,187 @@
+package harness_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// job builds a fresh CRW job of n processes under a coordinator killer.
+func job(n, f int) harness.Job {
+	props := make([]sim.Value, n)
+	for i := range props {
+		props[i] = sim.Value(100 + i)
+	}
+	return harness.Job{
+		Model:   sim.ModelExtended,
+		Horizon: sim.Round(n + 2),
+		Procs:   core.NewSystem(props, core.Options{}),
+		Adv:     adversary.CoordinatorKiller{F: f},
+	}
+}
+
+func TestRegistryHasBuiltinEngines(t *testing.T) {
+	kinds := harness.Kinds()
+	if len(kinds) != 2 || kinds[0] != harness.KindDeterministic || kinds[1] != harness.KindLockstep {
+		t.Fatalf("kinds = %v, want [deterministic lockstep]", kinds)
+	}
+	det, ok := harness.Lookup(harness.KindDeterministic)
+	if !ok || !det.Trace || !det.Deterministic || !det.Reusable {
+		t.Errorf("deterministic caps = %+v, want trace+deterministic+reusable", det)
+	}
+	ls, ok := harness.Lookup(harness.KindLockstep)
+	if !ok || ls.Trace || ls.Deterministic || ls.Reusable {
+		t.Errorf("lockstep caps = %+v, want none", ls)
+	}
+	if _, ok := harness.Lookup("bogus"); ok {
+		t.Error("Lookup accepted an unregistered kind")
+	}
+	if _, err := harness.New("bogus"); err == nil {
+		t.Error("New accepted an unregistered kind")
+	}
+}
+
+// TestAdaptersAgree runs the same workload through both adapters and
+// compares the semantic outcome.
+func TestAdaptersAgree(t *testing.T) {
+	det, err := harness.New(harness.KindDeterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := harness.New(harness.KindLockstep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := det.Run(job(6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ls.Run(job(6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != want.Rounds || len(got.Decisions) != len(want.Decisions) ||
+		got.Counters != want.Counters {
+		t.Errorf("lockstep result %+v differs from deterministic %+v", got, want)
+	}
+	for id, v := range want.Decisions {
+		if got.Decisions[id] != v {
+			t.Errorf("p%d decided %d vs %d", id, got.Decisions[id], v)
+		}
+	}
+}
+
+// TestSimAdapterReuse drives one deterministic adapter through jobs of
+// changing shapes and checks every run stays correct — the reuse path
+// (same-shape jobs hit sim.Engine.Reset) must be invisible to results.
+func TestSimAdapterReuse(t *testing.T) {
+	eng, err := harness.New(harness.KindDeterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []struct{ n, f int }{{4, 1}, {4, 2}, {4, 2}, {6, 0}, {4, 1}, {6, 5}}
+	for i, s := range shapes {
+		res, err := eng.Run(job(s.n, s.f))
+		if err != nil {
+			t.Fatalf("run %d (n=%d f=%d): %v", i, s.n, s.f, err)
+		}
+		if res.MaxDecideRound() != sim.Round(s.f+1) {
+			t.Errorf("run %d (n=%d f=%d): decide round %d, want %d",
+				i, s.n, s.f, res.MaxDecideRound(), s.f+1)
+		}
+		if len(res.Decisions) != s.n-s.f {
+			t.Errorf("run %d: %d deciders, want %d", i, len(res.Decisions), s.n-s.f)
+		}
+	}
+}
+
+// TestSimAdapterTrace checks traced jobs record a transcript and do not
+// leak events into later untraced jobs.
+func TestSimAdapterTrace(t *testing.T) {
+	eng, err := harness.New(harness.KindDeterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := trace.New()
+	j := job(3, 0)
+	j.Trace = log
+	if _, err := eng.Run(j); err != nil {
+		t.Fatal(err)
+	}
+	if log.String() == "" {
+		t.Error("traced job produced no transcript")
+	}
+	before := len(log.String())
+	if _, err := eng.Run(job(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.String()) != before {
+		t.Error("untraced job appended to the previous job's trace log")
+	}
+}
+
+// TestLockstepAdapterRejectsTrace pins the capability backstop in the
+// adapter itself.
+func TestLockstepAdapterRejectsTrace(t *testing.T) {
+	eng, err := harness.New(harness.KindLockstep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(3, 0)
+	j.Trace = trace.New()
+	if _, err := eng.Run(j); err == nil {
+		t.Error("lockstep adapter accepted a traced job")
+	}
+}
+
+// TestForEachCoversAllIndicesDeterministically checks every index is
+// visited exactly once for any worker count, and that each worker owns a
+// private cache.
+func TestForEachCoversAllIndicesDeterministically(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{0, 1, 2, 4, 8, 200} {
+		visits := make([]int, n)
+		var mu sync.Mutex
+		caches := map[*harness.Cache]bool{}
+		harness.ForEach(n, workers, func(c *harness.Cache, i int) {
+			mu.Lock()
+			visits[i]++
+			caches[c] = true
+			mu.Unlock()
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+		if len(caches) > n && workers != 1 {
+			t.Errorf("workers=%d: %d caches for %d jobs", workers, len(caches), n)
+		}
+	}
+	// n = 0 must be a no-op, not a hang.
+	harness.ForEach(0, 4, func(*harness.Cache, int) { t.Error("fn called for empty batch") })
+}
+
+// TestCacheReturnsSameEngine checks Get memoizes per kind.
+func TestCacheReturnsSameEngine(t *testing.T) {
+	c := harness.NewCache()
+	a, err := c.Get(harness.KindDeterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get(harness.KindDeterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache returned distinct engines for one kind")
+	}
+	if _, err := c.Get("bogus"); err == nil {
+		t.Error("cache accepted an unregistered kind")
+	}
+}

@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/lockstep"
+	"repro/internal/sim"
+)
+
+// lockstepEngine adapts the goroutine-per-process runtime
+// (internal/lockstep) to the harness interface. The runtime is built fresh
+// per job — its channel matrix and goroutines are consumed by one run — so
+// the adapter advertises no Reusable capability; it also records no
+// transcripts and, because worker goroutines consult the adversary in
+// scheduling order, makes no bit-determinism promise.
+type lockstepEngine struct{}
+
+func init() {
+	Register(func() Engine { return lockstepEngine{} })
+}
+
+// Kind implements Engine.
+func (lockstepEngine) Kind() Kind { return KindLockstep }
+
+// Capabilities implements Engine.
+func (lockstepEngine) Capabilities() Capabilities { return Capabilities{} }
+
+// Run implements Engine.
+func (lockstepEngine) Run(job Job) (*sim.Result, error) {
+	if job.Trace != nil {
+		return nil, fmt.Errorf("harness: engine %q has no trace capability", KindLockstep)
+	}
+	rt, err := lockstep.New(lockstep.Config{Model: job.Model, Horizon: job.Horizon}, job.Procs, job.Adv)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Run()
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache lazily instantiates and retains one engine per kind. A sweep worker
+// owns exactly one Cache, so every job it executes on a given kind lands on
+// the same Engine value and benefits from that engine's buffer reuse.
+type Cache struct {
+	engines map[Kind]Engine
+}
+
+// NewCache returns an empty engine cache.
+func NewCache() *Cache { return &Cache{engines: map[Kind]Engine{}} }
+
+// Get returns the cache's engine for kind, instantiating it on first use.
+func (c *Cache) Get(kind Kind) (Engine, error) {
+	if eng, ok := c.engines[kind]; ok {
+		return eng, nil
+	}
+	eng, err := New(kind)
+	if err != nil {
+		return nil, err
+	}
+	c.engines[kind] = eng
+	return eng, nil
+}
+
+// ForEach invokes fn(cache, i) for every i in [0, n), fanned across a pool
+// of workers that each own a private Cache. Indices are handed out through
+// an atomic cursor, so scheduling is work-stealing; callers that write
+// result slots by index get output in deterministic input order regardless
+// of the worker count. workers <= 0 means GOMAXPROCS; a pool of one (or a
+// batch of one) runs inline on the calling goroutine with no
+// synchronization.
+func ForEach(n, workers int, fn func(c *Cache, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		c := NewCache()
+		for i := 0; i < n; i++ {
+			fn(c, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewCache()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(c, i)
+			}
+		}()
+	}
+	wg.Wait()
+}

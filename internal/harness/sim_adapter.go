@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// simEngine adapts the sequential deterministic engine (internal/sim) to the
+// harness interface. It keeps the last sim.Engine it built and rewinds it
+// with Reset whenever the next job shares the engine's configuration, which
+// is the zero-alloc reuse path a sweep worker rides: consecutive jobs of the
+// same shape cost no engine construction at all.
+type simEngine struct {
+	eng     *sim.Engine
+	model   sim.Model
+	horizon sim.Round
+	tr      *trace.Log
+}
+
+func init() {
+	Register(func() Engine { return &simEngine{} })
+}
+
+// Kind implements Engine.
+func (e *simEngine) Kind() Kind { return KindDeterministic }
+
+// Capabilities implements Engine.
+func (e *simEngine) Capabilities() Capabilities {
+	return Capabilities{Trace: true, Deterministic: true, Reusable: true}
+}
+
+// Run implements Engine. An untraced job whose model and horizon match the
+// previous one reuses the cached engine via Reset; anything else (including
+// every traced job, whose log is a fresh pointer) constructs a new engine.
+// The reuse predicate must cover every sim.Config field a Job can set — if
+// Job ever grows a Loss hook, reuse must be disabled for it, as
+// check.engineRunner does (closures cannot be compared).
+func (e *simEngine) Run(job Job) (*sim.Result, error) {
+	if e.eng != nil && job.Model == e.model && job.Horizon == e.horizon && job.Trace == e.tr {
+		if err := e.eng.Reset(job.Procs, job.Adv); err != nil {
+			return nil, err
+		}
+	} else {
+		eng, err := sim.NewEngine(sim.Config{Model: job.Model, Horizon: job.Horizon, Trace: job.Trace},
+			job.Procs, job.Adv)
+		if err != nil {
+			return nil, err
+		}
+		e.eng, e.model, e.horizon, e.tr = eng, job.Model, job.Horizon, job.Trace
+	}
+	return e.eng.Run()
+}

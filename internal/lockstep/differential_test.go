@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/agree"
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/lockstep"
@@ -104,6 +105,69 @@ func TestDifferentialEnginesUnderRandomScripts(t *testing.T) {
 			got.Counters.DroppedCtrl == want.Counters.DroppedCtrl
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomAgreeScript mirrors randomScript at the public API level: a random
+// but order-insensitive agree.ScriptedFaults spec, legal for every protocol
+// (oversized masks are truncated positionally; control prefixes clamp to the
+// plan's control sequence, which is empty for the classic protocols).
+func randomAgreeScript(rng *rand.Rand, n int) agree.FaultSpec {
+	plans := map[int]agree.CrashPlan{}
+	crashes := rng.Intn(n)
+	perm := rng.Perm(n)
+	for i := 0; i < crashes; i++ {
+		cp := agree.CrashPlan{Round: rng.Intn(n) + 1}
+		if rng.Intn(2) == 0 {
+			mask := make([]bool, rng.Intn(n))
+			for j := range mask {
+				mask[j] = rng.Intn(2) == 1
+			}
+			cp.DataMask = mask
+		} else {
+			cp.DeliverAllData = true
+			cp.CtrlPrefix = rng.Intn(n + 1)
+		}
+		plans[perm[i]+1] = cp
+	}
+	return agree.ScriptedFaults(plans)
+}
+
+// TestCrossCheckDifferentialAllProtocols extends the engine differential
+// beyond CRW to ProtocolEarlyStop and ProtocolFloodSet, driven through the
+// sweep harness's CrossCheck mode: every configuration runs on the
+// deterministic engine and is re-executed on the lockstep runtime, and any
+// semantic divergence (rounds, decisions, crash set, counters) fails the
+// item. scripts/verify.sh runs this under -race.
+func TestCrossCheckDifferentialAllProtocols(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%8) + 3
+		faults := randomAgreeScript(rng, n)
+		configs := []agree.Config{
+			{N: n, Protocol: agree.ProtocolCRW, Faults: faults},
+			{N: n, Protocol: agree.ProtocolEarlyStop, Faults: faults},
+			{N: n, Protocol: agree.ProtocolFloodSet, Faults: faults},
+		}
+		sr := agree.Sweep(configs, agree.SweepOptions{Workers: 3, CrossCheck: true})
+		for i, item := range sr.Items {
+			if item.Err != nil {
+				t.Logf("seed=%d n=%d %s: %v", seed, n, configs[i].Protocol, item.Err)
+				return false
+			}
+			if len(item.CrossChecked) == 0 {
+				t.Logf("seed=%d n=%d %s: cross-check silently skipped", seed, n, configs[i].Protocol)
+				return false
+			}
+			if item.Report.ConsensusErr != nil {
+				t.Logf("seed=%d n=%d %s: %v", seed, n, configs[i].Protocol, item.Report.ConsensusErr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
 	}
 }
