@@ -26,6 +26,7 @@ import (
 	"repro/internal/consensus/earlystop"
 	"repro/internal/consensus/floodset"
 	"repro/internal/core"
+	"repro/internal/fuzz"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -70,6 +71,7 @@ type FaultSpec struct {
 	prob       float64
 	max        int
 	script     map[sim.ProcID]adversary.CrashPlan
+	fscript    fuzz.Script
 }
 
 // NoFaults returns the failure-free scenario.
@@ -109,6 +111,20 @@ func ScriptedFaults(plans map[int]CrashPlan) FaultSpec {
 	return FaultSpec{kind: "script", script: script}
 }
 
+// ReplayFaults replays a crash schedule recorded by the fuzzer (agree.Fuzz,
+// cmd/agreefuzz), given in the script format of its findings:
+// ';'-joined events "p<proc>@r<round>:<data mask>/<ctrl prefix>", the empty
+// string being the failure-free schedule. Replay is a pure function of
+// (process, round), so the spec is order-insensitive and cross-checks
+// cleanly on every engine.
+func ReplayFaults(script string) (FaultSpec, error) {
+	s, err := fuzz.Parse(script)
+	if err != nil {
+		return FaultSpec{}, err
+	}
+	return FaultSpec{kind: "fuzzscript", fscript: s}, nil
+}
+
 // CrashPlan mirrors adversary.CrashPlan for the public API.
 type CrashPlan struct {
 	Round          int
@@ -129,9 +145,71 @@ func (f FaultSpec) build() sim.Adversary {
 		return adversary.NewRandom(f.seed, f.prob, f.max)
 	case "script":
 		return adversary.NewScript(f.script)
+	case "fuzzscript":
+		return f.fscript.Adversary()
 	default:
 		return adversary.None{}
 	}
+}
+
+// validate rejects fault scenarios that are nonsensical for an n-process
+// system. Historically these were silently clamped or ignored (a negative f
+// crashed nobody, an out-of-range control prefix became 0, a scripted crash
+// of p9 in a 4-process run never fired), which made misconfigured sweeps
+// look like passing ones; every such case is now a configuration error.
+func (f FaultSpec) validate(n int) error {
+	switch f.kind {
+	case "coordkiller":
+		if f.f < 0 {
+			return fmt.Errorf("agree: coordinator crash count f=%d is negative", f.f)
+		}
+		if f.f >= n {
+			return fmt.Errorf("agree: coordinator crash count f=%d must leave a survivor (n=%d, so f <= %d)", f.f, n, n-1)
+		}
+		if f.ctrlPrefix < CtrlAll || f.ctrlPrefix > n-1 {
+			return fmt.Errorf("agree: control prefix %d out of range (0..%d, or agree.CtrlAll for the full sequence)", f.ctrlPrefix, n-1)
+		}
+	case "random":
+		if f.prob < 0 || f.prob > 1 {
+			return fmt.Errorf("agree: crash probability %g out of [0, 1]", f.prob)
+		}
+		if f.max < 0 {
+			return fmt.Errorf("agree: crash budget max=%d is negative", f.max)
+		}
+		if f.max >= n {
+			return fmt.Errorf("agree: crash budget max=%d must leave a survivor (n=%d, so max <= %d)", f.max, n, n-1)
+		}
+	case "script":
+		crashes := 0
+		for p, cp := range f.script {
+			if p < 1 || int(p) > n {
+				return fmt.Errorf("agree: scripted crash of nonexistent p%d (n=%d)", p, n)
+			}
+			if cp.Round < 1 {
+				return fmt.Errorf("agree: scripted crash of p%d in round %d (rounds are 1-based)", p, cp.Round)
+			}
+			if cp.CtrlPrefix < adversary.CtrlAll || cp.CtrlPrefix > n-1 {
+				return fmt.Errorf("agree: scripted control prefix %d of p%d out of range (0..%d, or agree.CtrlAll)", cp.CtrlPrefix, p, n-1)
+			}
+			crashes++
+		}
+		if crashes >= n && n > 0 {
+			return fmt.Errorf("agree: script crashes all %d processes; a run needs a survivor", n)
+		}
+	case "fuzzscript":
+		for _, e := range f.fscript.Events {
+			if e.Proc > n {
+				return fmt.Errorf("agree: replay script crashes nonexistent p%d (n=%d)", e.Proc, n)
+			}
+			if e.Ctrl > n-1 {
+				return fmt.Errorf("agree: replay script control prefix %d of p%d out of range (0..%d)", e.Ctrl, e.Proc, n-1)
+			}
+		}
+		if f.fscript.Crashes() >= n && n > 0 {
+			return fmt.Errorf("agree: replay script crashes all %d processes; a run needs a survivor", n)
+		}
+	}
+	return nil
 }
 
 // orderInsensitive reports whether the spec's adversary is a pure function
@@ -239,6 +317,9 @@ func normalize(cfg Config) (Config, []sim.Value, error) {
 	}
 	if cfg.Diagram {
 		cfg.Trace = true
+	}
+	if err := cfg.Faults.validate(cfg.N); err != nil {
+		return cfg, nil, err
 	}
 	proposals := make([]sim.Value, cfg.N)
 	for i := range proposals {

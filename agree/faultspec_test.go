@@ -1,0 +1,106 @@
+package agree_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/agree"
+)
+
+// TestFaultSpecValidation is the table-driven edge-case audit of FaultSpec
+// normalization. Every rejected case below used to be silently clamped or
+// ignored (a negative f crashed nobody, f >= n crashed everybody reachable,
+// an out-of-range control prefix became 0, a scripted crash of a
+// nonexistent process never fired), making misconfigured campaigns look
+// like passing ones; they are configuration errors now.
+func TestFaultSpecValidation(t *testing.T) {
+	const n = 4
+	cases := []struct {
+		name    string
+		faults  agree.FaultSpec
+		wantErr string // substring of the error; "" = must be accepted
+	}{
+		{"no faults", agree.NoFaults(), ""},
+		{"coordinator f=0", agree.CoordinatorCrashes(0), ""},
+		{"coordinator f=n-1", agree.CoordinatorCrashes(n - 1), ""},
+		{"coordinator f negative", agree.CoordinatorCrashes(-1), "negative"},
+		{"coordinator f=n", agree.CoordinatorCrashes(n), "survivor"},
+		{"coordinator f>n", agree.CoordinatorCrashes(n + 3), "survivor"},
+		{"delivering ctrl=CtrlAll", agree.CoordinatorCrashesDelivering(1, agree.CtrlAll), ""},
+		{"delivering ctrl=n-1", agree.CoordinatorCrashesDelivering(1, n-1), ""},
+		{"delivering ctrl below CtrlAll", agree.CoordinatorCrashesDelivering(1, -2), "control prefix"},
+		{"delivering ctrl=n", agree.CoordinatorCrashesDelivering(1, n), "control prefix"},
+		{"random prob=0", agree.RandomFaults(1, 0, 2), ""},
+		{"random prob=1", agree.RandomFaults(1, 1, 2), ""},
+		{"random prob negative", agree.RandomFaults(1, -0.1, 2), "probability"},
+		{"random prob>1", agree.RandomFaults(1, 1.5, 2), "probability"},
+		{"random max negative", agree.RandomFaults(1, 0.5, -1), "negative"},
+		{"random max=n", agree.RandomFaults(1, 0.5, n), "survivor"},
+		{"script in range", agree.ScriptedFaults(map[int]agree.CrashPlan{2: {Round: 1}}), ""},
+		{"script round 0", agree.ScriptedFaults(map[int]agree.CrashPlan{2: {Round: 0}}), "1-based"},
+		{"script round negative", agree.ScriptedFaults(map[int]agree.CrashPlan{2: {Round: -3}}), "1-based"},
+		{"script nonexistent proc", agree.ScriptedFaults(map[int]agree.CrashPlan{n + 5: {Round: 1}}), "nonexistent"},
+		{"script proc 0", agree.ScriptedFaults(map[int]agree.CrashPlan{0: {Round: 1}}), "nonexistent"},
+		{"script ctrl below CtrlAll", agree.ScriptedFaults(map[int]agree.CrashPlan{2: {Round: 1, CtrlPrefix: -4}}), "control prefix"},
+		{"script ctrl=n", agree.ScriptedFaults(map[int]agree.CrashPlan{2: {Round: 1, DeliverAllData: true, CtrlPrefix: n}}), "control prefix"},
+		{"script crashes everyone", agree.ScriptedFaults(map[int]agree.CrashPlan{
+			1: {Round: 1}, 2: {Round: 1}, 3: {Round: 1}, 4: {Round: 1}}), "survivor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := agree.Run(agree.Config{N: n, Faults: tc.faults})
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("rejected: %v", err)
+				}
+				if rep.ConsensusErr != nil {
+					t.Fatalf("consensus: %v", rep.ConsensusErr)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestFaultSpecBoundaryBehavior pins the semantics of the accepted
+// boundary cases: probability 0 never crashes, probability 1 crashes
+// exactly the budget, and a full CtrlAll prefix delivers the whole control
+// sequence (crashing the round-1 coordinator after a complete send phase
+// still lets everyone decide in round 1).
+func TestFaultSpecBoundaryBehavior(t *testing.T) {
+	rep, err := agree.Run(agree.Config{N: 6, Faults: agree.RandomFaults(7, 0, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults() != 0 {
+		t.Errorf("prob 0 crashed %d processes", rep.Faults())
+	}
+
+	rep, err = agree.Run(agree.Config{N: 6, Faults: agree.RandomFaults(7, 1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults() != 2 {
+		t.Errorf("prob 1 with budget 2 crashed %d processes, want exactly 2", rep.Faults())
+	}
+	if rep.ConsensusErr != nil {
+		t.Errorf("consensus: %v", rep.ConsensusErr)
+	}
+
+	rep, err = agree.Run(agree.Config{N: 6, Faults: agree.CoordinatorCrashesDelivering(1, agree.CtrlAll)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConsensusErr != nil {
+		t.Fatal(rep.ConsensusErr)
+	}
+	if rep.MaxDecideRound() != 1 {
+		t.Errorf("full-delivery coordinator crash delayed decision to round %d, want 1", rep.MaxDecideRound())
+	}
+}

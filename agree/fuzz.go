@@ -1,0 +1,415 @@
+package agree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/fuzz"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FuzzConfig configures a randomized fuzzing campaign: Seeds independent
+// random-walk executions of the configured protocol, each validated against
+// the consensus oracles (validity, uniform agreement, termination, and the
+// protocol's round bound), with violating schedules minimized into
+// replayable scripts.
+//
+// Fuzzing complements the exhaustive explorer (Explore): the explorer proves
+// properties for proof-sized systems (n <= 5), the fuzzer samples the same
+// choice space at production sizes and under schedules the proofs quantify
+// over but the experiments never pin down.
+type FuzzConfig struct {
+	// N is the number of processes (required).
+	N int
+	// T is the crash budget per execution (default N-1).
+	T int
+	// Protocol selects the algorithm (default ProtocolCRW).
+	Protocol Protocol
+	// Seeds is the number of seeds to fuzz (default 64); seed i is Seed+i.
+	Seeds int
+	// Seed is the base seed (default 1).
+	Seed int64
+	// CrashProb is the per-(process, round) crash probability of the random
+	// walk (default 0.25).
+	CrashProb float64
+	// OrderAscending fuzzes the ascending-commit-order ablation (CRW only):
+	// the f+1 bound is expected to fall.
+	OrderAscending bool
+	// CommitAsData fuzzes the commit-as-data ablation (CRW only): uniform
+	// agreement is expected to fall.
+	CommitAsData bool
+	// Shrink minimizes every violating schedule by delta debugging.
+	Shrink bool
+	// MaxShrinkRuns caps the shrinker's replay budget per finding
+	// (default 512).
+	MaxShrinkRuns int
+	// Workers is the worker-pool size: 0 means GOMAXPROCS, 1 runs the
+	// campaign sequentially. The report is bit-identical for every worker
+	// count: each seed is a deterministic function of itself alone, and
+	// results are merged in seed order.
+	Workers int
+	// CrossCheck replays every finding's script (the shrunk script when
+	// shrinking ran) on each other registered engine and diffs the semantic
+	// outcome against the deterministic engine's.
+	CrossCheck bool
+}
+
+// FuzzFinding is one violating execution of a campaign.
+type FuzzFinding struct {
+	// Seed is the seed whose random walk produced the violation.
+	Seed int64
+	// Err is the violated property.
+	Err error
+	// Script is the recorded crash schedule (agree.ReplayFaults format).
+	Script string
+	// Shrunk is the minimized script when FuzzConfig.Shrink was set; it
+	// fails with ShrunkErr (the violation may shift class while shrinking,
+	// e.g. from a round-bound to an agreement violation).
+	Shrunk string
+	// ShrunkErr is the violation the shrunk script fails with.
+	ShrunkErr error
+	// ShrunkCrashes is the crash-event count of the shrunk script.
+	ShrunkCrashes int
+	// CrossChecked lists the engines the finding's script was replayed on
+	// when FuzzConfig.CrossCheck was set.
+	CrossChecked []EngineKind
+	// CrossCheckErr reports a cross-engine divergence (or reference-engine
+	// failure) while replaying the finding's script.
+	CrossCheckErr error
+}
+
+// FuzzReport aggregates a campaign.
+type FuzzReport struct {
+	// Seeds is the number of seeds fuzzed.
+	Seeds int
+	// Executions is the total number of engine runs, including replay
+	// verification, shrinking and cross-check runs.
+	Executions int
+	// Findings are the violations, in seed order.
+	Findings []FuzzFinding
+	// MaxRounds, MaxDecideRound and MaxFaults summarize the generated runs.
+	MaxRounds      int
+	MaxDecideRound int
+	MaxFaults      int
+	// RoundHistogram maps the latest decision round of each passing run to
+	// its frequency — the scenario-diversity profile of the campaign.
+	RoundHistogram map[int]int
+}
+
+// fuzzOutcome carries one seed's result through the worker pool.
+type fuzzOutcome struct {
+	out          fuzz.Outcome
+	fatal        error
+	crossChecked []EngineKind
+	crossErr     error
+	crossRuns    int
+}
+
+// normalizeFuzz validates a campaign config and fills in the defaults.
+func normalizeFuzz(cfg FuzzConfig) (FuzzConfig, error) {
+	if cfg.N < 1 {
+		return cfg, errors.New("agree: N must be at least 1")
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = ProtocolCRW
+	}
+	if cfg.Protocol != ProtocolCRW && (cfg.OrderAscending || cfg.CommitAsData) {
+		return cfg, errors.New("agree: the ablations apply to the CRW protocol only")
+	}
+	if cfg.T <= 0 || cfg.T >= cfg.N {
+		cfg.T = cfg.N - 1
+	}
+	if cfg.N == 1 {
+		cfg.T = 0
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 64
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.CrashProb < 0 || cfg.CrashProb > 1 {
+		return cfg, fmt.Errorf("agree: crash probability %g out of [0, 1]", cfg.CrashProb)
+	}
+	if cfg.CrashProb == 0 {
+		cfg.CrashProb = 0.25
+	}
+	return cfg, nil
+}
+
+// fuzzFactory builds the per-execution target factory for a campaign.
+func fuzzFactory(cfg FuzzConfig) fuzz.Factory {
+	return func() fuzz.Target {
+		props := make([]sim.Value, cfg.N)
+		for i := range props {
+			props[i] = sim.Value(100 + i)
+		}
+		if cfg.Protocol == ProtocolCRW {
+			opts := core.Options{CommitAsData: cfg.CommitAsData}
+			if cfg.OrderAscending {
+				opts.Order = core.OrderAscending
+			}
+			model := sim.ModelExtended
+			if cfg.CommitAsData {
+				model = sim.ModelClassic
+			}
+			return fuzz.Target{
+				Model:     model,
+				Horizon:   sim.Round(cfg.N + 2),
+				Procs:     core.NewSystem(props, opts),
+				Proposals: props,
+			}
+		}
+		// The classic baselines share buildProtocol with Run/Sweep.
+		procs, model, horizon, err := buildProtocol(Config{
+			N: cfg.N, T: cfg.T, Protocol: cfg.Protocol,
+		}, props)
+		if err != nil {
+			// Unreachable: normalizeFuzz pinned the protocol to a known one.
+			panic(err)
+		}
+		return fuzz.Target{Model: model, Horizon: horizon, Procs: procs, Proposals: props}
+	}
+}
+
+// fuzzOracle returns the consensus oracle with the protocol's round bound.
+func fuzzOracle(cfg FuzzConfig) fuzz.Oracle {
+	switch cfg.Protocol {
+	case ProtocolEarlyStop:
+		return fuzz.ConsensusOracle(check.BoundClassic(cfg.T))
+	case ProtocolFloodSet:
+		t := cfg.T
+		return fuzz.ConsensusOracle(func(int) sim.Round { return sim.Round(t + 1) })
+	default:
+		return fuzz.ConsensusOracle(check.BoundFPlus1)
+	}
+}
+
+// Fuzz runs a randomized fuzzing campaign across the harness worker pool.
+// Each worker draws its deterministic engine from a private cache
+// (sim.Engine.Reset reuse, exactly like Sweep), seeds are fanned out through
+// the same work-stealing cursor, and outcomes are merged in seed order — the
+// report is bit-identical for every worker count.
+func Fuzz(cfg FuzzConfig) (*FuzzReport, error) {
+	cfg, err := normalizeFuzz(cfg)
+	if err != nil {
+		return nil, err
+	}
+	factory := fuzzFactory(cfg)
+	oracle := fuzzOracle(cfg)
+	opts := fuzz.Options{
+		Gen:           fuzz.Gen{T: cfg.T, CrashProb: cfg.CrashProb},
+		Shrink:        cfg.Shrink,
+		MaxShrinkRuns: cfg.MaxShrinkRuns,
+	}
+
+	outcomes := make([]fuzzOutcome, cfg.Seeds)
+	harness.ForEach(cfg.Seeds, cfg.Workers, func(cache *harness.Cache, i int) {
+		slot := &outcomes[i]
+		eng, err := cache.Get(harness.KindDeterministic)
+		if err != nil {
+			slot.fatal = err
+			return
+		}
+		slot.out, slot.fatal = fuzz.RunSeed(eng, factory, oracle, cfg.Seed+int64(i), opts)
+		if slot.fatal != nil || slot.out.Err == nil || !cfg.CrossCheck {
+			return
+		}
+		script := slot.out.Script
+		if slot.out.Shrunk != nil {
+			script = *slot.out.Shrunk
+		}
+		slot.crossChecked, slot.crossRuns, slot.crossErr = crossCheckScript(cache, factory, script)
+	})
+
+	rep := &FuzzReport{Seeds: cfg.Seeds, RoundHistogram: make(map[int]int)}
+	for i := range outcomes {
+		slot := &outcomes[i]
+		if slot.fatal != nil {
+			return nil, slot.fatal
+		}
+		out := &slot.out
+		rep.Executions += out.Executions + slot.crossRuns
+		if r := int(out.Rounds); r > rep.MaxRounds {
+			rep.MaxRounds = r
+		}
+		if r := int(out.MaxDecideRound); r > rep.MaxDecideRound {
+			rep.MaxDecideRound = r
+		}
+		if out.Faults > rep.MaxFaults {
+			rep.MaxFaults = out.Faults
+		}
+		if out.Err == nil {
+			rep.RoundHistogram[int(out.MaxDecideRound)]++
+			continue
+		}
+		finding := FuzzFinding{
+			Seed:          out.Seed,
+			Err:           out.Err,
+			Script:        out.Script.String(),
+			CrossChecked:  slot.crossChecked,
+			CrossCheckErr: slot.crossErr,
+		}
+		if out.Shrunk != nil {
+			finding.Shrunk = out.Shrunk.String()
+			finding.ShrunkErr = out.ShrunkErr
+			finding.ShrunkCrashes = out.Shrunk.Crashes()
+		}
+		rep.Findings = append(rep.Findings, finding)
+	}
+	return rep, nil
+}
+
+// FuzzReplayReport is the outcome of replaying one script via
+// FuzzReplayScript.
+type FuzzReplayReport struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Decisions, DecideRound and Crashed mirror Report's fields.
+	Decisions   map[int]int64
+	DecideRound map[int]int
+	Crashed     map[int]int
+	// Err is the oracle verdict: nil when the run satisfies uniform
+	// consensus and the protocol's round bound.
+	Err error
+	// Transcript is the execution trace when requested.
+	Transcript string
+}
+
+// FuzzReplayScript re-executes one crash script under a campaign
+// configuration — the same protocol construction, horizon and oracle the
+// campaign itself used, so a finding's "reproduce with -replay" contract
+// cannot drift from the code that produced it. The script is validated
+// against the system size exactly like ReplayFaults specs are at Run time.
+func FuzzReplayScript(cfg FuzzConfig, script string, withTrace bool) (*FuzzReplayReport, error) {
+	cfg, err := normalizeFuzz(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := fuzz.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	if err := (FaultSpec{kind: "fuzzscript", fscript: s}).validate(cfg.N); err != nil {
+		return nil, err
+	}
+	var log *trace.Log
+	if withTrace {
+		log = trace.New()
+	}
+	tgt := fuzzFactory(cfg)()
+	eng, err := harness.NewCache().Get(harness.KindDeterministic)
+	if err != nil {
+		return nil, err
+	}
+	res, runErr := eng.Run(harness.Job{
+		Model: tgt.Model, Horizon: tgt.Horizon, Procs: tgt.Procs, Adv: s.Adversary(), Trace: log,
+	})
+	if res == nil {
+		return nil, runErr
+	}
+	rep := &FuzzReplayReport{
+		Rounds:      int(res.Rounds),
+		Decisions:   make(map[int]int64, len(res.Decisions)),
+		DecideRound: make(map[int]int, len(res.DecideRound)),
+		Crashed:     make(map[int]int, len(res.Crashed)),
+		Err:         fuzzOracle(cfg)(tgt.Proposals, res, runErr),
+	}
+	for id, v := range res.Decisions {
+		rep.Decisions[int(id)] = int64(v)
+		rep.DecideRound[int(id)] = int(res.DecideRound[id])
+	}
+	for id, r := range res.Crashed {
+		rep.Crashed[int(id)] = int(r)
+	}
+	if log != nil {
+		rep.Transcript = log.String()
+	}
+	return rep, nil
+}
+
+// crossCheckScript replays a script on the deterministic engine and on every
+// other registered engine, diffing the semantic outcome (rounds, decisions,
+// crash set, traffic counters). It returns the engines compared, the number
+// of engine runs spent, and the first divergence (or reference-engine
+// failure).
+func crossCheckScript(cache *harness.Cache, factory fuzz.Factory, script fuzz.Script) ([]EngineKind, int, error) {
+	runs := 0
+	runOn := func(kind harness.Kind) (*sim.Result, error) {
+		eng, err := cache.Get(kind)
+		if err != nil {
+			return nil, err
+		}
+		tgt := factory()
+		runs++
+		res, runErr := eng.Run(harness.Job{
+			Model: tgt.Model, Horizon: tgt.Horizon, Procs: tgt.Procs, Adv: script.Adversary(),
+		})
+		if res == nil {
+			return nil, runErr
+		}
+		// Run errors (e.g. horizon exhaustion on a violating schedule) are
+		// part of the semantic outcome; both engines must agree on them via
+		// the result they return alongside.
+		return res, nil
+	}
+	primary, err := runOn(harness.KindDeterministic)
+	if err != nil {
+		return nil, runs, fmt.Errorf("agree: fuzz crosscheck reference run: %w", err)
+	}
+	var checked []EngineKind
+	for _, kind := range harness.Kinds() {
+		if kind == harness.KindDeterministic {
+			continue
+		}
+		ref, err := runOn(kind)
+		if err != nil {
+			return checked, runs, fmt.Errorf("agree: fuzz crosscheck on engine %q: %w", kind, err)
+		}
+		if diff := diffResults(primary, ref); diff != "" {
+			return checked, runs, fmt.Errorf("agree: fuzz crosscheck divergence between engines %q and %q replaying %q: %s",
+				harness.KindDeterministic, kind, script.String(), diff)
+		}
+		checked = append(checked, EngineKind(kind))
+	}
+	return checked, runs, nil
+}
+
+// diffResults compares the semantic fields of two engine results for one
+// script and returns a description of the first difference, or "".
+func diffResults(a, b *sim.Result) string {
+	if a.Rounds != b.Rounds {
+		return fmt.Sprintf("rounds %d vs %d", a.Rounds, b.Rounds)
+	}
+	if len(a.Decisions) != len(b.Decisions) {
+		return fmt.Sprintf("%d vs %d deciders", len(a.Decisions), len(b.Decisions))
+	}
+	for id, v := range a.Decisions {
+		bv, ok := b.Decisions[id]
+		if !ok {
+			return fmt.Sprintf("p%d decided only on one engine", id)
+		}
+		if v != bv {
+			return fmt.Sprintf("p%d decided %d vs %d", id, int64(v), int64(bv))
+		}
+		if a.DecideRound[id] != b.DecideRound[id] {
+			return fmt.Sprintf("p%d decide round %d vs %d", id, a.DecideRound[id], b.DecideRound[id])
+		}
+	}
+	if len(a.Crashed) != len(b.Crashed) {
+		return fmt.Sprintf("%d vs %d crashes", len(a.Crashed), len(b.Crashed))
+	}
+	for id, r := range a.Crashed {
+		if br, ok := b.Crashed[id]; !ok || r != br {
+			return fmt.Sprintf("p%d crash round %d vs %d", id, r, br)
+		}
+	}
+	if a.Counters != b.Counters {
+		return fmt.Sprintf("counters %s vs %s", a.Counters.String(), b.Counters.String())
+	}
+	return ""
+}

@@ -418,6 +418,36 @@ func BenchmarkSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkFuzz times the randomized fuzzing campaign (agree.Fuzz) on the
+// faithful algorithm at n=16: a 256-seed campaign per iteration, reporting
+// fuzz executions per second as the domain throughput metric. The workers=1
+// variant is the single-core generator+oracle cost; the parallel variant
+// adds the worker pool (bit-identical report, speedup scales with cores).
+func BenchmarkFuzz(b *testing.B) {
+	cfg := agree.FuzzConfig{N: 16, T: 5, Seeds: 256, CrashProb: 0.25}
+	for _, variant := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"parallel", 0}} {
+		b.Run(variant.name, func(b *testing.B) {
+			execs := 0
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.Workers = variant.workers
+				rep, err := agree.Fuzz(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Findings) != 0 {
+					b.Fatalf("faithful algorithm produced findings: %+v", rep.Findings[0])
+				}
+				execs += rep.Executions
+			}
+			b.ReportMetric(float64(execs)/b.Elapsed().Seconds(), "execs/s")
+		})
+	}
+}
+
 // BenchmarkLockstepEngine times the goroutine runtime against the
 // deterministic engine's workload (n=32, f=4): the cost of real concurrency.
 func BenchmarkLockstepEngine(b *testing.B) {

@@ -18,8 +18,6 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
-	"strconv"
-	"strings"
 
 	"repro/internal/adversary"
 	"repro/internal/check"
@@ -91,7 +89,7 @@ func run() int {
 		}
 	}
 	if *replay != "" {
-		script, err := parseScript(*replay)
+		script, err := check.ParseScript(*replay)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "agreexplore:", err)
 			return 1
@@ -156,33 +154,10 @@ func run() int {
 	for i, ce := range stats.Counterexamples {
 		fmt.Printf("  [%d] %v\n", i+1, ce.Err)
 		fmt.Printf("      script %v (re-run with -replay %s for a full trace)\n",
-			ce.Script, scriptString(ce.Script))
+			ce.Script, check.ScriptString(ce.Script))
 		fmt.Printf("      decisions %v, crashed %v\n", ce.Result.Decisions, ce.Result.Crashed)
 	}
 	return 2
-}
-
-// parseScript parses "1,0,2" into a choice script.
-func parseScript(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad script element %q: %v", p, err)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-// scriptString renders a script as a -replay argument.
-func scriptString(script []int) string {
-	parts := make([]string, len(script))
-	for i, v := range script {
-		parts[i] = strconv.Itoa(v)
-	}
-	return strings.Join(parts, ",")
 }
 
 // replayScript re-executes one scripted run with a full transcript and

@@ -1,0 +1,32 @@
+package check
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseScript parses a comma-separated choice script ("1,0,2") into the
+// []int form accepted by Replayer — the format counterexamples are printed
+// in by the explorer CLIs (agreexplore -replay).
+func ParseScript(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("check: bad script element %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ScriptString renders a choice script in the ParseScript format.
+func ScriptString(script []int) string {
+	parts := make([]string, len(script))
+	for i, v := range script {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,204 @@
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// Gen tunes the random-walk schedule generator.
+type Gen struct {
+	// T is the crash budget: the walk crashes at most T processes.
+	T int
+	// CrashProb is the per-(process, round) crash probability (default 0.25).
+	CrashProb float64
+	// MaxCrashRound, if positive, is the last round a crash may be injected
+	// in. Crashes after every correct process has decided cannot affect the
+	// outcome, so campaigns bound this at the protocol's round bound to keep
+	// schedules dense.
+	MaxCrashRound int
+}
+
+// crashProb returns the configured or default crash probability.
+func (g Gen) crashProb() float64 {
+	if g.CrashProb <= 0 {
+		return 0.25
+	}
+	return g.CrashProb
+}
+
+// recorder is the generating adversary: a seeded random walk over the legal
+// crash choices of the model (crash or not, data-step vs control-step crash
+// point, escaped subset / prefix), recording every crash it injects as a
+// replayable Event. On the deterministic engine — which consults the
+// adversary in a fixed (round, process) order — the walk is a pure function
+// of the seed.
+type recorder struct {
+	rng     *rand.Rand
+	gen     Gen
+	crashes int
+	events  []Event
+}
+
+// Crashes implements sim.Adversary. The choice tree mirrors
+// adversary.FromChooser: crash point first (data step vs control step, when
+// a control sequence exists), then either a uniform escaped subset (data
+// step) or full data plus a uniform escaped prefix (control step).
+func (rec *recorder) Crashes(p sim.ProcID, r sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome) {
+	if rec.crashes >= rec.gen.T {
+		return false, sim.CrashOutcome{}
+	}
+	if rec.gen.MaxCrashRound > 0 && int(r) > rec.gen.MaxCrashRound {
+		return false, sim.CrashOutcome{}
+	}
+	if rec.rng.Float64() >= rec.gen.crashProb() {
+		return false, sim.CrashOutcome{}
+	}
+	rec.crashes++
+	mask := make([]bool, len(plan.Data))
+	ctrl := 0
+	if len(plan.Control) > 0 && rec.rng.Intn(2) == 1 {
+		// Control-step crash: the data step completed, a prefix escapes.
+		for i := range mask {
+			mask[i] = true
+		}
+		ctrl = rec.rng.Intn(len(plan.Control) + 1)
+	} else {
+		// Data-step crash: an arbitrary subset escapes, no control messages.
+		for i := range mask {
+			mask[i] = rec.rng.Intn(2) == 1
+		}
+	}
+	rec.events = append(rec.events, Event{
+		Proc: int(p), Round: int(r), Data: append([]bool(nil), mask...), Ctrl: ctrl,
+	})
+	return true, sim.CrashOutcome{DataDelivered: mask, CtrlPrefix: ctrl}
+}
+
+// script returns the recorded schedule in canonical order.
+func (rec *recorder) script() Script {
+	s := Script{Events: rec.events}
+	s.normalize()
+	return s
+}
+
+// Target is one system under test: the engine inputs plus the proposals the
+// oracle validates against.
+type Target struct {
+	Model     sim.Model
+	Horizon   sim.Round
+	Procs     []sim.Process
+	Proposals []sim.Value
+}
+
+// Factory builds a fresh Target per execution (processes are stateful, so
+// every run needs its own). Factories used by a parallel campaign must be
+// safe for concurrent calls, which any factory constructing a fresh process
+// set per call is.
+type Factory func() Target
+
+// Oracle validates one finished run; a non-nil error flags a violation.
+// runErr is the engine's own error (e.g. horizon exhaustion without
+// decisions), which consensus oracles treat as a termination violation.
+type Oracle func(proposals []sim.Value, res *sim.Result, runErr error) error
+
+// Options tunes a per-seed fuzz run.
+type Options struct {
+	// Gen configures the schedule generator.
+	Gen Gen
+	// Shrink minimizes the recorded script on violation.
+	Shrink bool
+	// MaxShrinkRuns caps the shrinker's replay budget (default 512).
+	MaxShrinkRuns int
+}
+
+// Outcome is the result of fuzzing one seed.
+type Outcome struct {
+	// Seed is the generator seed of the run.
+	Seed int64
+	// Script is the recorded crash schedule.
+	Script Script
+	// Err is the oracle violation, nil for a passing run.
+	Err error
+	// Shrunk is the minimized script when shrinking ran (Err != nil and
+	// Options.Shrink); it fails the oracle with ShrunkErr.
+	Shrunk *Script
+	// ShrunkErr is the oracle violation of the shrunk script.
+	ShrunkErr error
+	// Executions counts engine runs spent on this seed (1 + replay + shrink).
+	Executions int
+	// Rounds, MaxDecideRound and Faults summarize the generated run.
+	Rounds         sim.Round
+	MaxDecideRound sim.Round
+	Faults         int
+}
+
+// ErrReplayDiverged is returned when a recorded script does not reproduce
+// its own run — which would mean the engine or the system under test is not
+// deterministic, a fatal property violation of the whole approach.
+var ErrReplayDiverged = errors.New("fuzz: recorded script did not reproduce the generated run")
+
+// RunSeed fuzzes one seed: it generates a random schedule while executing it,
+// validates the run with the oracle, and — on violation — replay-verifies the
+// recorded script and shrinks it. The returned error is fatal (engine
+// construction failure or replay divergence); oracle violations are reported
+// in the Outcome.
+func RunSeed(eng harness.Engine, factory Factory, oracle Oracle, seed int64, opts Options) (Outcome, error) {
+	out := Outcome{Seed: seed}
+	tgt := factory()
+	rec := &recorder{rng: rand.New(rand.NewSource(seed)), gen: opts.Gen}
+	res, runErr := eng.Run(harness.Job{
+		Model: tgt.Model, Horizon: tgt.Horizon, Procs: tgt.Procs, Adv: rec,
+	})
+	if res == nil {
+		return out, fmt.Errorf("fuzz: seed %d: %w", seed, runErr)
+	}
+	out.Executions++
+	out.Script = rec.script()
+	out.Rounds = res.Rounds
+	out.MaxDecideRound = res.MaxDecideRound()
+	out.Faults = res.Faults()
+	out.Err = oracle(tgt.Proposals, res, runErr)
+	if out.Err == nil {
+		return out, nil
+	}
+
+	// The violation must reproduce from the recorded script alone before it
+	// is worth reporting (or shrinking): replay and compare the verdicts.
+	replay := func(s Script) (error, error) {
+		t := factory()
+		r, rerr := eng.Run(harness.Job{
+			Model: t.Model, Horizon: t.Horizon, Procs: t.Procs, Adv: s.Adversary(),
+		})
+		if r == nil {
+			return nil, fmt.Errorf("fuzz: replaying seed %d: %w", seed, rerr)
+		}
+		out.Executions++
+		return oracle(t.Proposals, r, rerr), nil
+	}
+	verr, fatal := replay(out.Script)
+	if fatal != nil {
+		return out, fatal
+	}
+	if verr == nil {
+		return out, fmt.Errorf("%w (seed %d, script %q)", ErrReplayDiverged, seed, out.Script.String())
+	}
+	if !opts.Shrink {
+		return out, nil
+	}
+
+	budget := opts.MaxShrinkRuns
+	if budget <= 0 {
+		budget = 512
+	}
+	maxRound := int(tgt.Horizon)
+	shrunk, shrunkErr, fatal := Shrink(out.Script, verr, maxRound, budget, replay)
+	if fatal != nil {
+		return out, fatal
+	}
+	out.Shrunk, out.ShrunkErr = &shrunk, shrunkErr
+	return out, nil
+}

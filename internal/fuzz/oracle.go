@@ -1,0 +1,27 @@
+package fuzz
+
+import (
+	"repro/internal/check"
+	"repro/internal/sim"
+)
+
+// ConsensusOracle is the standard fuzzing oracle: any engine error (horizon
+// exhaustion, model violation) is a failure, the run must satisfy uniform
+// consensus (validity, uniform agreement, termination — check.Consensus),
+// and, when bound is non-nil, every decision must land within bound(f) rounds
+// (check.RoundBound). Pass check.BoundFPlus1 for the paper's algorithm,
+// check.BoundClassic(t) for the early-stopping baseline.
+func ConsensusOracle(bound func(f int) sim.Round) Oracle {
+	return func(proposals []sim.Value, res *sim.Result, runErr error) error {
+		if runErr != nil {
+			return runErr
+		}
+		if err := check.Consensus(proposals, res); err != nil {
+			return err
+		}
+		if bound != nil {
+			return check.RoundBound(res, bound)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,253 @@
+// Package fuzz turns the deterministic engine into a property-based tester:
+// a seeded random-walk adversary drives executions through randomly sampled
+// crash schedules at sizes the exhaustive explorer (internal/check) cannot
+// reach, every sampled choice is recorded into a compact replayable Script,
+// each run is validated against the consensus oracles, and violating scripts
+// are minimized by a delta-debugging shrinker while preserving the failure.
+//
+// The pipeline per seed is
+//
+//	generate (recording adversary) → validate (oracle) → replay-verify →
+//	shrink (fewer crashes → later crashes → smaller escape sets)
+//
+// and every stage is a deterministic function of the seed, which is what lets
+// the campaign runner (agree.Fuzz) fan seeds across a worker pool and still
+// produce bit-identical reports at any worker count.
+package fuzz
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Event is one recorded crash: process Proc crashes during its send phase of
+// round Round, the data messages selected by Data escape (positionally
+// against the plan of that round), and Ctrl control messages (a prefix of the
+// ordered sequence) escape. The model's single-crash-point rule means a
+// non-zero Ctrl implies every Data entry is true (the data step completed).
+type Event struct {
+	Proc  int
+	Round int
+	Data  []bool
+	Ctrl  int
+}
+
+// String renders the event in the script format: p<proc>@r<round>:<mask>/<ctrl>,
+// the mask as '1'/'0' per data message, e.g. "p3@r1:101/0".
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%d@r%d:", e.Proc, e.Round)
+	for _, d := range e.Data {
+		if d {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	fmt.Fprintf(&b, "/%d", e.Ctrl)
+	return b.String()
+}
+
+// escapes returns how many messages of the event escape (shrink ordering).
+func (e Event) escapes() int {
+	n := e.Ctrl
+	for _, d := range e.Data {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Script is a replayable crash schedule: at most one event per process, in
+// (round, process) order. The empty script is the failure-free schedule.
+//
+// A script is order-insensitive — replaying it is a pure function of
+// (process, round, plan) — so it reproduces identically on every engine,
+// including the goroutine-per-process lockstep runtime.
+type Script struct {
+	Events []Event
+}
+
+// String renders the script as ';'-joined events ("" for the empty script),
+// the format accepted by Parse, agree.ReplayFaults and agreefuzz -replay.
+func (s Script) String() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Crashes returns the number of crash events.
+func (s Script) Crashes() int { return len(s.Events) }
+
+// Clone returns a deep copy, safe to mutate independently.
+func (s Script) Clone() Script {
+	out := Script{Events: make([]Event, len(s.Events))}
+	for i, e := range s.Events {
+		out.Events[i] = e
+		out.Events[i].Data = append([]bool(nil), e.Data...)
+	}
+	return out
+}
+
+// normalize sorts events into canonical (round, process) order.
+func (s *Script) normalize() {
+	sort.Slice(s.Events, func(i, j int) bool {
+		a, b := s.Events[i], s.Events[j]
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		return a.Proc < b.Proc
+	})
+}
+
+// validate rejects malformed scripts: events must name positive processes
+// and rounds, keep Ctrl non-negative, respect the single-crash-point rule
+// (Ctrl > 0 requires a fully-true mask), and no process may crash twice.
+func (s Script) validate() error {
+	seen := map[int]bool{}
+	for _, e := range s.Events {
+		if e.Proc < 1 {
+			return fmt.Errorf("fuzz: event %s: process out of range", e)
+		}
+		if e.Round < 1 {
+			return fmt.Errorf("fuzz: event %s: round out of range", e)
+		}
+		if e.Ctrl < 0 {
+			return fmt.Errorf("fuzz: event %s: negative control prefix", e)
+		}
+		if e.Ctrl > 0 {
+			for _, d := range e.Data {
+				if !d {
+					return fmt.Errorf("fuzz: event %s: control prefix with partial data (crash point is unique)", e)
+				}
+			}
+		}
+		if seen[e.Proc] {
+			return fmt.Errorf("fuzz: p%d crashes twice", e.Proc)
+		}
+		seen[e.Proc] = true
+	}
+	return nil
+}
+
+// Parse decodes a script rendered by Script.String. The empty string is the
+// empty (failure-free) script.
+func Parse(text string) (Script, error) {
+	var s Script
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(text, ";") {
+		e, err := parseEvent(strings.TrimSpace(part))
+		if err != nil {
+			return Script{}, err
+		}
+		s.Events = append(s.Events, e)
+	}
+	s.normalize()
+	if err := s.validate(); err != nil {
+		return Script{}, err
+	}
+	return s, nil
+}
+
+// parseEvent decodes one "p<proc>@r<round>:<mask>/<ctrl>" element.
+func parseEvent(text string) (Event, error) {
+	bad := func() (Event, error) {
+		return Event{}, fmt.Errorf("fuzz: bad script event %q (want p<proc>@r<round>:<mask>/<ctrl>)", text)
+	}
+	rest, ok := strings.CutPrefix(text, "p")
+	if !ok {
+		return bad()
+	}
+	procStr, rest, ok := strings.Cut(rest, "@r")
+	if !ok {
+		return bad()
+	}
+	roundStr, rest, ok := strings.Cut(rest, ":")
+	if !ok {
+		return bad()
+	}
+	maskStr, ctrlStr, ok := strings.Cut(rest, "/")
+	if !ok {
+		return bad()
+	}
+	proc, err := strconv.Atoi(procStr)
+	if err != nil {
+		return bad()
+	}
+	round, err := strconv.Atoi(roundStr)
+	if err != nil {
+		return bad()
+	}
+	ctrl, err := strconv.Atoi(ctrlStr)
+	if err != nil {
+		return bad()
+	}
+	e := Event{Proc: proc, Round: round, Ctrl: ctrl}
+	for _, c := range maskStr {
+		switch c {
+		case '1':
+			e.Data = append(e.Data, true)
+		case '0':
+			e.Data = append(e.Data, false)
+		default:
+			return bad()
+		}
+	}
+	return e, nil
+}
+
+// replayer replays a Script as a sim.Adversary. It is a pure read-only
+// function of (process, round, plan) — safe for the lockstep runtime's
+// concurrent (mutex-serialized, but scheduling-ordered) consultation — and
+// total over mutated scripts: the mask is matched positionally against the
+// concrete plan (missing positions drop, extras are ignored), the control
+// prefix clamps to the plan's control sequence, and if any delivered data
+// bit is false the control prefix is forced to zero so the outcome always
+// respects the model's single-crash-point rule.
+type replayer struct {
+	byProc map[int]Event
+}
+
+// Adversary returns a replaying sim.Adversary for the script.
+func (s Script) Adversary() sim.Adversary {
+	r := &replayer{byProc: make(map[int]Event, len(s.Events))}
+	for _, e := range s.Events {
+		r.byProc[e.Proc] = e
+	}
+	return r
+}
+
+// Crashes implements sim.Adversary.
+func (r *replayer) Crashes(p sim.ProcID, rd sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome) {
+	e, ok := r.byProc[int(p)]
+	if !ok || e.Round != int(rd) {
+		return false, sim.CrashOutcome{}
+	}
+	mask := make([]bool, len(plan.Data))
+	full := true
+	for i := range mask {
+		if i < len(e.Data) && e.Data[i] {
+			mask[i] = true
+		} else {
+			full = false
+		}
+	}
+	ctrl := e.Ctrl
+	if ctrl > len(plan.Control) {
+		ctrl = len(plan.Control)
+	}
+	if !full {
+		ctrl = 0
+	}
+	return true, sim.CrashOutcome{DataDelivered: mask, CtrlPrefix: ctrl}
+}

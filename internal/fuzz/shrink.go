@@ -1,0 +1,155 @@
+package fuzz
+
+// Shrink minimizes a violating script by delta debugging: candidate
+// simplifications are replayed through test, and a candidate is kept exactly
+// when it still fails the oracle. Simplification passes run in preference
+// order — fewer crash events (ddmin-style chunk removal), later crash rounds
+// (bounded by maxRound), smaller escape sets (shorter control prefixes, then
+// fewer escaped data messages) — and repeat until a full cycle makes no
+// progress or the replay budget is spent.
+//
+// test returns (oracle violation, fatal error): the candidate is kept when
+// the violation is non-nil. serr is the violation of s itself (already
+// verified by the caller). Every accepted mutation is monotone — the event
+// count never grows, rounds never move earlier, escape sets never grow — so
+// the pass cycle terminates even without the budget.
+//
+// Shrink returns the minimized script, the oracle violation it fails with,
+// and any fatal replay error (which aborts the shrink and returns the best
+// script found so far).
+func Shrink(s Script, serr error, maxRound, budget int, test func(Script) (error, error)) (Script, error, error) {
+	cur := s.Clone()
+	curErr := serr
+	runs := 0
+	var fatal error
+
+	// try replays a candidate; it reports whether the candidate still fails
+	// (and was adopted). A spent budget or fatal error makes it a no-op.
+	try := func(cand Script) bool {
+		if fatal != nil || runs >= budget {
+			return false
+		}
+		runs++
+		verr, ferr := test(cand)
+		if ferr != nil {
+			fatal = ferr
+			return false
+		}
+		if verr == nil {
+			return false
+		}
+		cand.normalize()
+		cur, curErr = cand, verr
+		return true
+	}
+
+	done := func() bool { return fatal != nil || runs >= budget }
+
+	for {
+		progress := false
+
+		// Pass 1 — fewer crashes: remove chunks of events, halving the chunk
+		// size down to single events (ddmin).
+		for chunk := len(cur.Events); chunk >= 1 && !done(); chunk /= 2 {
+			for lo := 0; lo+chunk <= len(cur.Events) && !done(); {
+				cand := cur.Clone()
+				cand.Events = append(cand.Events[:lo], cand.Events[lo+chunk:]...)
+				if try(cand) {
+					progress = true
+					// cur shrank; the window at lo now holds new events.
+					continue
+				}
+				lo++
+			}
+		}
+
+		// Pass 2 — later crashes: greedily delay each remaining event round
+		// by round up to maxRound. Events are addressed by process (stable
+		// across the renormalization that each accepted move triggers).
+		for _, proc := range procs(cur) {
+			for !done() {
+				i := eventIndex(cur, proc)
+				if i < 0 || cur.Events[i].Round >= maxRound {
+					break
+				}
+				cand := cur.Clone()
+				cand.Events[i].Round++
+				if !try(cand) {
+					break
+				}
+				progress = true
+			}
+		}
+
+		// Pass 3 — smaller escape sets: shorten the control prefix (toward
+		// zero first, then by halves and single steps), then drop escaped
+		// data messages one by one once no control message escapes.
+		for _, proc := range procs(cur) {
+			for !done() {
+				i := eventIndex(cur, proc)
+				if i < 0 || cur.Events[i].Ctrl == 0 {
+					break
+				}
+				c := cur.Events[i].Ctrl
+				accepted := false
+				tried := map[int]bool{}
+				for _, next := range []int{0, c / 2, c - 1} {
+					if next >= c || tried[next] {
+						continue
+					}
+					tried[next] = true
+					cand := cur.Clone()
+					cand.Events[i].Ctrl = next
+					if try(cand) {
+						accepted = true
+						progress = true
+						break
+					}
+					if done() {
+						break
+					}
+				}
+				if !accepted {
+					break
+				}
+			}
+			for bit := 0; !done(); bit++ {
+				i := eventIndex(cur, proc)
+				if i < 0 || cur.Events[i].Ctrl != 0 || bit >= len(cur.Events[i].Data) {
+					break
+				}
+				if !cur.Events[i].Data[bit] {
+					continue
+				}
+				cand := cur.Clone()
+				cand.Events[i].Data[bit] = false
+				if try(cand) {
+					progress = true
+				}
+			}
+		}
+
+		if !progress || done() {
+			return cur, curErr, fatal
+		}
+	}
+}
+
+// procs returns the processes with a crash event, in canonical script order.
+func procs(s Script) []int {
+	out := make([]int, len(s.Events))
+	for i, e := range s.Events {
+		out[i] = e.Proc
+	}
+	return out
+}
+
+// eventIndex returns the index of proc's event, or -1 if it was removed.
+func eventIndex(s Script, proc int) int {
+	for i, e := range s.Events {
+		if e.Proc == proc {
+			return i
+		}
+	}
+	return -1
+}

@@ -7,7 +7,10 @@ import (
 
 	"repro/agree"
 	"repro/internal/adversary"
+	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/fuzz"
+	"repro/internal/harness"
 	"repro/internal/lockstep"
 	"repro/internal/sim"
 )
@@ -127,7 +130,9 @@ func randomAgreeScript(rng *rand.Rand, n int) agree.FaultSpec {
 			cp.DataMask = mask
 		} else {
 			cp.DeliverAllData = true
-			cp.CtrlPrefix = rng.Intn(n + 1)
+			// A control sequence has at most n-1 destinations; larger
+			// prefixes are rejected by FaultSpec validation.
+			cp.CtrlPrefix = rng.Intn(n)
 		}
 		plans[perm[i]+1] = cp
 	}
@@ -169,5 +174,67 @@ func TestCrossCheckDifferentialAllProtocols(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCrossCheckDifferentialFuzzSchedules differential-tests 100
+// fuzzer-generated random schedules: each is recorded by the fuzz package's
+// random-walk adversary on the deterministic engine, converted to the
+// public replay format, and swept with CrossCheck, which re-executes every
+// configuration on the lockstep runtime and fails the item on any semantic
+// divergence. Unlike randomScript above, these schedules come from the
+// exact generator the fuzzing campaigns use — masks sized to the real send
+// plans, legal crash points only — so this is the differential gate for
+// the fuzzer's replay path. scripts/verify.sh runs this under -race.
+func TestCrossCheckDifferentialFuzzSchedules(t *testing.T) {
+	const schedules = 100
+	eng, err := harness.New(harness.KindDeterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := make([]agree.Config, 0, schedules)
+	for seed := int64(0); len(configs) < schedules; seed++ {
+		n := 3 + int(seed%8) // 3..10 processes
+		props := make([]sim.Value, n)
+		for i := range props {
+			props[i] = sim.Value(100 + i)
+		}
+		factory := func() fuzz.Target {
+			return fuzz.Target{
+				Model:     sim.ModelExtended,
+				Horizon:   sim.Round(n + 2),
+				Procs:     core.NewSystem(props, core.Options{}),
+				Proposals: props,
+			}
+		}
+		out, err := fuzz.RunSeed(eng, factory, fuzz.ConsensusOracle(check.BoundFPlus1), seed,
+			fuzz.Options{Gen: fuzz.Gen{T: n - 1, CrashProb: 0.3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Err != nil {
+			t.Fatalf("seed %d: faithful algorithm violated %v (script %q)", seed, out.Err, out.Script.String())
+		}
+		spec, err := agree.ReplayFaults(out.Script.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		configs = append(configs, agree.Config{N: n, Faults: spec})
+	}
+	sr := agree.Sweep(configs, agree.SweepOptions{Workers: 4, CrossCheck: true})
+	for i, item := range sr.Items {
+		if item.Err != nil {
+			t.Errorf("schedule %d (n=%d): %v", i, configs[i].N, item.Err)
+			continue
+		}
+		if len(item.CrossChecked) == 0 {
+			t.Errorf("schedule %d (n=%d): cross-check silently skipped", i, configs[i].N)
+		}
+		if item.Report.ConsensusErr != nil {
+			t.Errorf("schedule %d (n=%d): %v", i, configs[i].N, item.Report.ConsensusErr)
+		}
+	}
+	if sr.Aggregate.CrossChecked != schedules {
+		t.Errorf("cross-checked %d of %d schedules", sr.Aggregate.CrossChecked, schedules)
 	}
 }

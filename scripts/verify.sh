@@ -14,7 +14,7 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel explorer + sweep/cross-check differential tests)"
-go test -race -run 'ExploreParallel|Sweep|CrossCheck' ./internal/check/ ./agree/ ./internal/lockstep/ ./internal/harness/
+echo "== go test -race (parallel explorer + sweep/cross-check + fuzz-campaign differential tests)"
+go test -race -run 'ExploreParallel|Sweep|CrossCheck|Fuzz' ./internal/check/ ./agree/ ./internal/lockstep/ ./internal/harness/ ./internal/fuzz/
 
 echo "verify: OK"
