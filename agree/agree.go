@@ -61,7 +61,8 @@ const (
 	EngineLockstep EngineKind = "lockstep"
 )
 
-// FaultSpec describes the crash scenario of a run.
+// FaultSpec describes the fault scenario of a run: crash faults, omission
+// faults, or a mix of both.
 type FaultSpec struct {
 	kind       string
 	f          int
@@ -69,8 +70,10 @@ type FaultSpec struct {
 	ctrlPrefix int
 	seed       int64
 	prob       float64
+	recvProb   float64
 	max        int
 	script     map[sim.ProcID]adversary.CrashPlan
+	oscript    map[sim.ProcID][]adversary.OmissionPlan
 	fscript    fuzz.Script
 }
 
@@ -136,8 +139,80 @@ type CrashPlan struct {
 // CtrlAll requests full control delivery in a CrashPlan.
 const CtrlAll = adversary.CtrlAll
 
-// build materializes the adversary.
-func (f FaultSpec) build() sim.Adversary {
+// OmissionPlan mirrors adversary.OmissionPlan for the public API: the
+// send/receive omissions of one process in one round. The process stays
+// alive — unlike a crash, omissions are repeatable across rounds and the
+// faulty process keeps participating in the protocol.
+type OmissionPlan struct {
+	// Round is the 1-based round the omissions apply to.
+	Round int
+	// SendData selects which data messages of the round's send plan are
+	// transmitted ('true' = transmitted, positional, missing positions
+	// transmitted); nil omits nothing from the data step.
+	SendData []bool
+	// SendCtrl selects which control messages are transmitted — any subset,
+	// not just a prefix (the sender is alive and executes the whole step).
+	SendCtrl []bool
+	// DropAllSend suppresses the entire send plan.
+	DropAllSend bool
+	// Recv selects which senders' messages reach the process this round
+	// (index i = process i+1, 'true' = delivered, missing delivered).
+	Recv []bool
+	// DropAllRecv suppresses every delivery to the process this round.
+	DropAllRecv bool
+}
+
+// OmissionFaults returns a randomized omission scenario: at most maxFaulty
+// distinct processes turn omission faulty, each omitting every message it
+// sends with probability sendProb and blocking each inbound sender with
+// probability recvProb per round, deterministically for a seed. With
+// maxFaulty = n and recvProb = 0 this is the classic lossy-channel ablation.
+//
+// Like RandomFaults, the spec is order-sensitive (the adversary is stateful),
+// so it is skipped by cross-engine checking.
+func OmissionFaults(seed int64, sendProb, recvProb float64, maxFaulty int) FaultSpec {
+	return FaultSpec{kind: "randomomit", seed: seed, prob: sendProb, recvProb: recvProb, max: maxFaulty}
+}
+
+// ScriptedOmissions uses explicit per-process omission plans (several rounds
+// per process allowed). The spec is a pure function of (process, round), so
+// it cross-checks cleanly on every engine.
+func ScriptedOmissions(plans map[int][]OmissionPlan) FaultSpec {
+	return FaultSpec{kind: "omitscript", oscript: convertOmissionPlans(plans)}
+}
+
+// CrashesWithOmissions combines scripted crash plans with scripted omission
+// plans into one mixed fault scenario: crashes remove processes for good,
+// omissions degrade the communication of processes that stay alive. A
+// process may appear in both maps as long as its omissions happen strictly
+// before its crash round.
+func CrashesWithOmissions(crashes map[int]CrashPlan, omissions map[int][]OmissionPlan) FaultSpec {
+	spec := ScriptedFaults(crashes)
+	spec.kind = "mixed"
+	spec.oscript = convertOmissionPlans(omissions)
+	return spec
+}
+
+// convertOmissionPlans maps the public plans onto the adversary layer.
+func convertOmissionPlans(plans map[int][]OmissionPlan) map[sim.ProcID][]adversary.OmissionPlan {
+	out := map[sim.ProcID][]adversary.OmissionPlan{}
+	for p, ops := range plans {
+		for _, op := range ops {
+			out[sim.ProcID(p)] = append(out[sim.ProcID(p)], adversary.OmissionPlan{
+				Round:       sim.Round(op.Round),
+				SendData:    op.SendData,
+				SendCtrl:    op.SendCtrl,
+				DropAllSend: op.DropAllSend,
+				Recv:        op.Recv,
+				DropAllRecv: op.DropAllRecv,
+			})
+		}
+	}
+	return out
+}
+
+// build materializes the adversary for an n-process system.
+func (f FaultSpec) build(n int) sim.Adversary {
 	switch f.kind {
 	case "coordkiller":
 		return adversary.CoordinatorKiller{F: f.f, DeliverAllData: f.deliver, CtrlPrefix: f.ctrlPrefix}
@@ -145,6 +220,12 @@ func (f FaultSpec) build() sim.Adversary {
 		return adversary.NewRandom(f.seed, f.prob, f.max)
 	case "script":
 		return adversary.NewScript(f.script)
+	case "randomomit":
+		return adversary.NewRandomOmission(f.seed, f.prob, f.recvProb, f.max, n)
+	case "omitscript":
+		return adversary.NewOmissionScript(n, f.oscript)
+	case "mixed":
+		return adversary.Combine(adversary.NewScript(f.script), adversary.NewOmissionScript(n, f.oscript))
 	case "fuzzscript":
 		return f.fscript.Adversary()
 	default:
@@ -180,29 +261,43 @@ func (f FaultSpec) validate(n int) error {
 			return fmt.Errorf("agree: crash budget max=%d must leave a survivor (n=%d, so max <= %d)", f.max, n, n-1)
 		}
 	case "script":
-		crashes := 0
-		for p, cp := range f.script {
-			if p < 1 || int(p) > n {
-				return fmt.Errorf("agree: scripted crash of nonexistent p%d (n=%d)", p, n)
-			}
-			if cp.Round < 1 {
-				return fmt.Errorf("agree: scripted crash of p%d in round %d (rounds are 1-based)", p, cp.Round)
-			}
-			if cp.CtrlPrefix < adversary.CtrlAll || cp.CtrlPrefix > n-1 {
-				return fmt.Errorf("agree: scripted control prefix %d of p%d out of range (0..%d, or agree.CtrlAll)", cp.CtrlPrefix, p, n-1)
-			}
-			crashes++
+		if err := validateCrashScript(f.script, n); err != nil {
+			return err
 		}
-		if crashes >= n && n > 0 {
-			return fmt.Errorf("agree: script crashes all %d processes; a run needs a survivor", n)
+	case "randomomit":
+		if f.prob < 0 || f.prob > 1 {
+			return fmt.Errorf("agree: send-omission probability %g out of [0, 1]", f.prob)
+		}
+		if f.recvProb < 0 || f.recvProb > 1 {
+			return fmt.Errorf("agree: receive-omission probability %g out of [0, 1]", f.recvProb)
+		}
+		if f.max < 0 {
+			return fmt.Errorf("agree: omission-faulty budget max=%d is negative", f.max)
+		}
+		if f.max > n {
+			return fmt.Errorf("agree: omission-faulty budget max=%d exceeds the system size n=%d", f.max, n)
+		}
+	case "omitscript":
+		if err := validateOmissionScript(f.oscript, nil, n); err != nil {
+			return err
+		}
+	case "mixed":
+		if err := validateCrashScript(f.script, n); err != nil {
+			return err
+		}
+		if err := validateOmissionScript(f.oscript, f.script, n); err != nil {
+			return err
 		}
 	case "fuzzscript":
 		for _, e := range f.fscript.Events {
 			if e.Proc > n {
-				return fmt.Errorf("agree: replay script crashes nonexistent p%d (n=%d)", e.Proc, n)
+				return fmt.Errorf("agree: replay script faults nonexistent p%d (n=%d)", e.Proc, n)
 			}
 			if e.Ctrl > n-1 {
 				return fmt.Errorf("agree: replay script control prefix %d of p%d out of range (0..%d)", e.Ctrl, e.Proc, n-1)
+			}
+			if len(e.From) > n {
+				return fmt.Errorf("agree: replay script receive-omission mask of p%d names %d senders (n=%d)", e.Proc, len(e.From), n)
 			}
 		}
 		if f.fscript.Crashes() >= n && n > 0 {
@@ -212,11 +307,66 @@ func (f FaultSpec) validate(n int) error {
 	return nil
 }
 
+// validateCrashScript applies the scripted-crash rules: processes exist,
+// rounds are 1-based, control prefixes are in range, and somebody survives.
+func validateCrashScript(script map[sim.ProcID]adversary.CrashPlan, n int) error {
+	crashes := 0
+	for p, cp := range script {
+		if p < 1 || int(p) > n {
+			return fmt.Errorf("agree: scripted crash of nonexistent p%d (n=%d)", p, n)
+		}
+		if cp.Round < 1 {
+			return fmt.Errorf("agree: scripted crash of p%d in round %d (rounds are 1-based)", p, cp.Round)
+		}
+		if cp.CtrlPrefix < adversary.CtrlAll || cp.CtrlPrefix > n-1 {
+			return fmt.Errorf("agree: scripted control prefix %d of p%d out of range (0..%d, or agree.CtrlAll)", cp.CtrlPrefix, p, n-1)
+		}
+		crashes++
+	}
+	if crashes >= n && n > 0 {
+		return fmt.Errorf("agree: script crashes all %d processes; a run needs a survivor", n)
+	}
+	return nil
+}
+
+// validateOmissionScript applies the scripted-omission rules: processes
+// exist, rounds are 1-based, receive masks name existing processes, no
+// duplicate (process, round) plan, and — given the crash script of a mixed
+// spec — omissions strictly precede the process's crash round (from that
+// round on the process sends and receives nothing, so a later omission could
+// never fire and the configuration is almost certainly a mistake).
+func validateOmissionScript(oscript map[sim.ProcID][]adversary.OmissionPlan,
+	crashes map[sim.ProcID]adversary.CrashPlan, n int) error {
+	for p, ops := range oscript {
+		if p < 1 || int(p) > n {
+			return fmt.Errorf("agree: scripted omission of nonexistent p%d (n=%d)", p, n)
+		}
+		rounds := map[sim.Round]bool{}
+		for _, op := range ops {
+			if op.Round < 1 {
+				return fmt.Errorf("agree: scripted omission of p%d in round %d (rounds are 1-based)", p, op.Round)
+			}
+			if rounds[op.Round] {
+				return fmt.Errorf("agree: p%d has two omission plans for round %d", p, op.Round)
+			}
+			rounds[op.Round] = true
+			if len(op.Recv) > n {
+				return fmt.Errorf("agree: receive-omission mask of p%d names %d senders (n=%d)", p, len(op.Recv), n)
+			}
+			if cp, crashed := crashes[p]; crashed && op.Round >= cp.Round {
+				return fmt.Errorf("agree: omission of p%d in round %d at or after its crash round %d", p, op.Round, cp.Round)
+			}
+		}
+	}
+	return nil
+}
+
 // orderInsensitive reports whether the spec's adversary is a pure function
 // of (process, round). Cross-engine comparison requires it: the lockstep
 // runtime consults the adversary in goroutine scheduling order, so a
-// stateful randomized adversary can legitimately diverge between engines.
-func (f FaultSpec) orderInsensitive() bool { return f.kind != "random" }
+// stateful randomized adversary — crash or omission — can legitimately
+// diverge between engines.
+func (f FaultSpec) orderInsensitive() bool { return f.kind != "random" && f.kind != "randomomit" }
 
 // Config configures a run.
 type Config struct {
@@ -261,6 +411,9 @@ type Report struct {
 	DecideRound map[int]int
 	// Crashed maps crashed process ids to crash rounds.
 	Crashed map[int]int
+	// Omissive maps omission-faulty process ids to their number of omissive
+	// rounds; omission-faulty processes stay alive and appear in Decisions.
+	Omissive map[int]int
 	// Counters holds communication costs.
 	Counters metrics.Counters
 	// ConsensusErr is nil when the run satisfies uniform consensus
@@ -275,6 +428,10 @@ type Report struct {
 
 // Faults returns the number of crashes that occurred.
 func (r *Report) Faults() int { return len(r.Crashed) }
+
+// OmissionFaulty returns the number of processes that committed at least one
+// omission fault.
+func (r *Report) OmissionFaulty() int { return len(r.Omissive) }
 
 // MaxDecideRound returns the latest decision round (macro rounds under
 // simulation).

@@ -26,6 +26,20 @@ type ExploreConfig struct {
 	// CommitAsData folds the commit into the data step (ablation: uniform
 	// agreement fails).
 	CommitAsData bool
+	// OmissionBudget additionally enumerates bounded-omission schedules: up
+	// to this many omission events (send omissions of any non-empty message
+	// subset, receive omissions of any non-empty sender subset) on top of
+	// the crash schedules. The paper assumes reliable channels and crash
+	// faults only, so with a non-zero budget the search is expected to find
+	// agreement violations — the omission ablation. The f+1 round bound (a
+	// crash-model theorem) is not checked when the budget is non-zero.
+	OmissionBudget int
+	// OmissionOnly zeroes the crash budget (T defaults to N-1 otherwise —
+	// there is no way to express "no crashes" through T itself), so the
+	// search enumerates pure omission schedules; it requires a non-zero
+	// OmissionBudget. Every counterexample then contains zero crashes by
+	// construction.
+	OmissionOnly bool
 	// Budget caps the number of executions (default 50,000,000).
 	Budget int
 	// MaxCounterexamples stops the search after this many violations
@@ -75,6 +89,12 @@ func Explore(cfg ExploreConfig) (*ExploreReport, error) {
 	if cfg.N == 1 {
 		cfg.T = 0
 	}
+	if cfg.OmissionOnly {
+		if cfg.OmissionBudget <= 0 {
+			return nil, errors.New("agree: OmissionOnly requires a non-zero OmissionBudget")
+		}
+		cfg.T = 0
+	}
 	if cfg.Budget <= 0 {
 		cfg.Budget = 50_000_000
 	}
@@ -86,15 +106,19 @@ func Explore(cfg ExploreConfig) (*ExploreReport, error) {
 	if cfg.CommitAsData {
 		model = sim.ModelClassic
 	}
-	n, t := cfg.N, cfg.T
+	n, t, omit := cfg.N, cfg.T, cfg.OmissionBudget
 	factory := func(ch interface{ Choose(int) int }) check.Execution {
 		props := make([]sim.Value, n)
 		for i := range props {
 			props[i] = sim.Value(10 + i)
 		}
+		var adv sim.Adversary = adversary.NewFromChooser(ch, t, sim.Round(n))
+		if omit > 0 {
+			adv = adversary.NewFromChooserWithOmissions(ch, t, sim.Round(n), omit, n)
+		}
 		return check.Execution{
 			Procs:     core.NewSystem(props, opts),
-			Adv:       adversary.NewFromChooser(ch, t, sim.Round(n)),
+			Adv:       adv,
 			Cfg:       sim.Config{Model: model, Horizon: sim.Round(n + 2)},
 			Proposals: props,
 		}
@@ -105,6 +129,11 @@ func Explore(cfg ExploreConfig) (*ExploreReport, error) {
 		}
 		if err := check.Consensus(ex.Proposals, res); err != nil {
 			return err
+		}
+		if omit > 0 {
+			// The f+1 bound is a crash-model theorem; under omission
+			// schedules only the consensus properties are checked.
+			return nil
 		}
 		return check.RoundBound(res, check.BoundFPlus1)
 	}

@@ -36,6 +36,20 @@ type FuzzConfig struct {
 	// CrashProb is the per-(process, round) crash probability of the random
 	// walk (default 0.25).
 	CrashProb float64
+	// SendOmitProb is the per-(process, round) probability of injecting a
+	// send-omission event (a random non-empty subset of the round's messages
+	// vanishes while the sender stays alive). Zero keeps the campaign in the
+	// crash model.
+	SendOmitProb float64
+	// RecvOmitProb is the per-(process, round) probability of injecting a
+	// receive-omission event (a random non-empty subset of senders blocked).
+	RecvOmitProb float64
+	// MaxOmissive bounds the distinct omission-faulty processes per
+	// execution (default N-1 when an omission probability is set).
+	MaxOmissive int
+	// OmissionOnly disables crash injection, making the walk a pure
+	// omission campaign; it requires a non-zero omission probability.
+	OmissionOnly bool
 	// OrderAscending fuzzes the ascending-commit-order ablation (CRW only):
 	// the f+1 bound is expected to fall.
 	OrderAscending bool
@@ -74,6 +88,8 @@ type FuzzFinding struct {
 	ShrunkErr error
 	// ShrunkCrashes is the crash-event count of the shrunk script.
 	ShrunkCrashes int
+	// ShrunkOmissions is the omission-event count of the shrunk script.
+	ShrunkOmissions int
 	// CrossChecked lists the engines the finding's script was replayed on
 	// when FuzzConfig.CrossCheck was set.
 	CrossChecked []EngineKind
@@ -91,10 +107,13 @@ type FuzzReport struct {
 	Executions int
 	// Findings are the violations, in seed order.
 	Findings []FuzzFinding
-	// MaxRounds, MaxDecideRound and MaxFaults summarize the generated runs.
-	MaxRounds      int
-	MaxDecideRound int
-	MaxFaults      int
+	// MaxRounds, MaxDecideRound, MaxFaults and MaxOmissionFaulty summarize
+	// the generated runs (MaxFaults counts crashes, MaxOmissionFaulty the
+	// omission-faulty processes of the most omissive run).
+	MaxRounds         int
+	MaxDecideRound    int
+	MaxFaults         int
+	MaxOmissionFaulty int
 	// RoundHistogram maps the latest decision round of each passing run to
 	// its frequency — the scenario-diversity profile of the campaign.
 	RoundHistogram map[int]int
@@ -138,6 +157,25 @@ func normalizeFuzz(cfg FuzzConfig) (FuzzConfig, error) {
 	if cfg.CrashProb == 0 {
 		cfg.CrashProb = 0.25
 	}
+	if cfg.SendOmitProb < 0 || cfg.SendOmitProb > 1 {
+		return cfg, fmt.Errorf("agree: send-omission probability %g out of [0, 1]", cfg.SendOmitProb)
+	}
+	if cfg.RecvOmitProb < 0 || cfg.RecvOmitProb > 1 {
+		return cfg, fmt.Errorf("agree: receive-omission probability %g out of [0, 1]", cfg.RecvOmitProb)
+	}
+	omitting := cfg.SendOmitProb > 0 || cfg.RecvOmitProb > 0
+	if cfg.OmissionOnly && !omitting {
+		return cfg, errors.New("agree: OmissionOnly requires a non-zero omission probability")
+	}
+	if cfg.MaxOmissive < 0 {
+		return cfg, fmt.Errorf("agree: omission-faulty budget %d is negative", cfg.MaxOmissive)
+	}
+	if cfg.MaxOmissive > cfg.N {
+		return cfg, fmt.Errorf("agree: omission-faulty budget %d exceeds the system size n=%d", cfg.MaxOmissive, cfg.N)
+	}
+	if omitting && cfg.MaxOmissive == 0 {
+		cfg.MaxOmissive = cfg.N - 1
+	}
 	return cfg, nil
 }
 
@@ -177,7 +215,14 @@ func fuzzFactory(cfg FuzzConfig) fuzz.Factory {
 }
 
 // fuzzOracle returns the consensus oracle with the protocol's round bound.
+// Omission campaigns check consensus only: the round bounds are crash-model
+// theorems (their f counts crashes), and under omission faults the paper's
+// reliable-channel assumption predicts consensus itself breaks — which is
+// exactly what the oracle should report, not a bound artifact.
 func fuzzOracle(cfg FuzzConfig) fuzz.Oracle {
+	if cfg.SendOmitProb > 0 || cfg.RecvOmitProb > 0 {
+		return fuzz.ConsensusOracle(nil)
+	}
 	switch cfg.Protocol {
 	case ProtocolEarlyStop:
 		return fuzz.ConsensusOracle(check.BoundClassic(cfg.T))
@@ -201,8 +246,16 @@ func Fuzz(cfg FuzzConfig) (*FuzzReport, error) {
 	}
 	factory := fuzzFactory(cfg)
 	oracle := fuzzOracle(cfg)
+	genT := cfg.T
+	if cfg.OmissionOnly {
+		genT = 0
+	}
 	opts := fuzz.Options{
-		Gen:           fuzz.Gen{T: cfg.T, CrashProb: cfg.CrashProb},
+		Gen: fuzz.Gen{
+			T: genT, CrashProb: cfg.CrashProb,
+			SendOmitProb: cfg.SendOmitProb, RecvOmitProb: cfg.RecvOmitProb,
+			MaxOmissive: cfg.MaxOmissive,
+		},
 		Shrink:        cfg.Shrink,
 		MaxShrinkRuns: cfg.MaxShrinkRuns,
 	}
@@ -243,6 +296,9 @@ func Fuzz(cfg FuzzConfig) (*FuzzReport, error) {
 		if out.Faults > rep.MaxFaults {
 			rep.MaxFaults = out.Faults
 		}
+		if out.Omissive > rep.MaxOmissionFaulty {
+			rep.MaxOmissionFaulty = out.Omissive
+		}
 		if out.Err == nil {
 			rep.RoundHistogram[int(out.MaxDecideRound)]++
 			continue
@@ -258,6 +314,7 @@ func Fuzz(cfg FuzzConfig) (*FuzzReport, error) {
 			finding.Shrunk = out.Shrunk.String()
 			finding.ShrunkErr = out.ShrunkErr
 			finding.ShrunkCrashes = out.Shrunk.Crashes()
+			finding.ShrunkOmissions = out.Shrunk.Omissions()
 		}
 		rep.Findings = append(rep.Findings, finding)
 	}
@@ -269,10 +326,11 @@ func Fuzz(cfg FuzzConfig) (*FuzzReport, error) {
 type FuzzReplayReport struct {
 	// Rounds is the number of rounds executed.
 	Rounds int
-	// Decisions, DecideRound and Crashed mirror Report's fields.
+	// Decisions, DecideRound, Crashed and Omissive mirror Report's fields.
 	Decisions   map[int]int64
 	DecideRound map[int]int
 	Crashed     map[int]int
+	Omissive    map[int]int
 	// Err is the oracle verdict: nil when the run satisfies uniform
 	// consensus and the protocol's round bound.
 	Err error
@@ -312,12 +370,19 @@ func FuzzReplayScript(cfg FuzzConfig, script string, withTrace bool) (*FuzzRepla
 	if res == nil {
 		return nil, runErr
 	}
+	oracle := fuzzOracle(cfg)
+	if s.Omissions() > 0 {
+		// An omission script is judged by the omission-model oracle even
+		// when the replay flags omit the campaign's omission probabilities:
+		// the crash-model round bounds do not apply to it.
+		oracle = fuzz.ConsensusOracle(nil)
+	}
 	rep := &FuzzReplayReport{
 		Rounds:      int(res.Rounds),
 		Decisions:   make(map[int]int64, len(res.Decisions)),
 		DecideRound: make(map[int]int, len(res.DecideRound)),
 		Crashed:     make(map[int]int, len(res.Crashed)),
-		Err:         fuzzOracle(cfg)(tgt.Proposals, res, runErr),
+		Err:         oracle(tgt.Proposals, res, runErr),
 	}
 	for id, v := range res.Decisions {
 		rep.Decisions[int(id)] = int64(v)
@@ -325,6 +390,12 @@ func FuzzReplayScript(cfg FuzzConfig, script string, withTrace bool) (*FuzzRepla
 	}
 	for id, r := range res.Crashed {
 		rep.Crashed[int(id)] = int(r)
+	}
+	for id, c := range res.Omissive {
+		if rep.Omissive == nil {
+			rep.Omissive = make(map[int]int, len(res.Omissive))
+		}
+		rep.Omissive[int(id)] = c
 	}
 	if log != nil {
 		rep.Transcript = log.String()
@@ -406,6 +477,14 @@ func diffResults(a, b *sim.Result) string {
 	for id, r := range a.Crashed {
 		if br, ok := b.Crashed[id]; !ok || r != br {
 			return fmt.Sprintf("p%d crash round %d vs %d", id, r, br)
+		}
+	}
+	if len(a.Omissive) != len(b.Omissive) {
+		return fmt.Sprintf("%d vs %d omission-faulty processes", len(a.Omissive), len(b.Omissive))
+	}
+	for id, c := range a.Omissive {
+		if bc, ok := b.Omissive[id]; !ok || c != bc {
+			return fmt.Sprintf("p%d omissive rounds %d vs %d", id, c, bc)
 		}
 	}
 	if a.Counters != b.Counters {

@@ -245,4 +245,3 @@ func TestFuzzFindsAscendingOrderBoundViolations(t *testing.T) {
 		}
 	}
 }
-

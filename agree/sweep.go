@@ -147,7 +147,7 @@ func runConfig(cfg Config, cache *harness.Cache) (*Report, error) {
 		Model:   model,
 		Horizon: horizon,
 		Procs:   procs,
-		Adv:     cfg.Faults.build(),
+		Adv:     cfg.Faults.build(cfg.N),
 		Trace:   log,
 	})
 	if err != nil {
@@ -176,6 +176,12 @@ func runConfig(cfg Config, cache *harness.Cache) (*Report, error) {
 	}
 	for id, r := range res.Crashed {
 		rep.Crashed[int(id)] = int(r)
+	}
+	for id, c := range res.Omissive {
+		if rep.Omissive == nil {
+			rep.Omissive = make(map[int]int, len(res.Omissive))
+		}
+		rep.Omissive[int(id)] = c
 	}
 	if log != nil {
 		rep.Transcript = log.String()
@@ -253,6 +259,14 @@ func diffReports(a, b *Report) string {
 	for id, r := range a.Crashed {
 		if br, ok := b.Crashed[id]; !ok || r != br {
 			return fmt.Sprintf("p%d crash round %d vs %d", id, r, br)
+		}
+	}
+	if len(a.Omissive) != len(b.Omissive) {
+		return fmt.Sprintf("%d vs %d omission-faulty processes", len(a.Omissive), len(b.Omissive))
+	}
+	for id, c := range a.Omissive {
+		if bc, ok := b.Omissive[id]; !ok || c != bc {
+			return fmt.Sprintf("p%d omissive rounds %d vs %d", id, c, bc)
 		}
 	}
 	if a.Counters != b.Counters {

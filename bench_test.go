@@ -11,7 +11,6 @@ package repro
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"testing"
 
 	"repro/agree"
@@ -571,20 +570,36 @@ func BenchmarkE13Valency(b *testing.B) {
 }
 
 // BenchmarkE14LossyChannels times a CRW run under 15% random channel loss
-// (the unreliable-network ablation).
+// (the unreliable-network ablation), expressed as randomized send omissions
+// through the first-class omission fault model.
 func BenchmarkE14LossyChannels(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rng := rand.New(rand.NewSource(int64(i)))
 		props := []sim.Value{10, 11, 12, 13}
 		procs := core.NewSystem(props, core.Options{})
-		eng, err := sim.NewEngine(sim.Config{Model: sim.ModelExtended, Horizon: 6,
-			Loss: func(sim.Message) bool { return rng.Float64() < 0.15 }},
-			procs, adversary.None{})
+		eng, err := sim.NewEngine(sim.Config{Model: sim.ModelExtended, Horizon: 6},
+			procs, adversary.NewRandomOmission(int64(i), 0.15, 0, len(props), len(props)))
 		if err != nil {
 			b.Fatal(err)
 		}
 		if _, err := eng.Run(); err != nil && !errors.Is(err, sim.ErrNoProgress) {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11Omission times one batch of randomized omission-model runs
+// (20 seeds, n=8, mixed send+receive omissions through the public FaultSpec):
+// the E11-style average-case workload transposed to the omission fault
+// model. Consensus may legitimately fail under omissions, so only engine
+// errors other than horizon exhaustion are fatal.
+func BenchmarkE11Omission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for seed := int64(0); seed < 20; seed++ {
+			rep, err := agree.Run(agree.Config{N: 8, Faults: agree.OmissionFaults(seed, 0.05, 0.05, 7)})
+			if err != nil && !errors.Is(err, sim.ErrNoProgress) {
+				b.Fatal(err)
+			}
+			_ = rep
 		}
 	}
 }

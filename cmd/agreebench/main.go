@@ -1,4 +1,4 @@
-// Command agreebench regenerates the experiment tables E1–E10, which map
+// Command agreebench regenerates the experiment tables E1–E15, which map
 // one-to-one onto the quantitative claims of the paper (see DESIGN.md for
 // the experiment index and EXPERIMENTS.md for paper-vs-measured records).
 //
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "", "experiment id to run (E1..E10); empty runs all")
+	exp := flag.String("e", "", "experiment id to run (E1..E15); empty runs all")
 	list := flag.Bool("list", false, "list experiments and exit")
 	workers := flag.Int("workers", 1, "sweep worker-pool size for batched experiments (0 = GOMAXPROCS)")
 	crosscheck := flag.Bool("crosscheck", false, "cross-validate batched runs on every other registered engine")

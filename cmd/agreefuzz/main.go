@@ -1,15 +1,18 @@
 // Command agreefuzz runs randomized fuzzing campaigns against the
-// implemented consensus protocols: seeded random-walk crash schedules at
-// sizes the exhaustive explorer cannot reach, every run validated against
-// the consensus oracles, violations minimized into compact replayable
-// scripts.
+// implemented consensus protocols: seeded random-walk fault schedules —
+// crashes and, when enabled, send/receive-omission faults — at sizes the
+// exhaustive explorer cannot reach, every run validated against the
+// consensus oracles, violations minimized into compact replayable scripts.
 //
 // Examples:
 //
 //	agreefuzz -n 24 -t 8 -seeds 5000                    # faithful algorithm: expect 0 findings
 //	agreefuzz -n 4 -t 2 -commit-as-data -seeds 200      # ablation: uniform agreement falls, shrunk scripts printed
 //	agreefuzz -n 5 -t 3 -order asc -seeds 500           # ablation: f+1 bound falls
+//	agreefuzz -n 8 -send-omit-prob 0.1 -omission-only -expect-findings  # omission model: agreement falls, as the
+//	                                                    # paper's reliable-channel assumption predicts
 //	agreefuzz -n 4 -t 2 -commit-as-data -replay 'p1@r1:100/0'  # replay a script with a full trace
+//	agreefuzz -n 3 -replay 'p1@r1:so:01/11'             # replay an omission script
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/agree"
 )
@@ -39,13 +43,21 @@ func run() int {
 		shrinkRuns   = flag.Int("max-shrink-runs", 512, "replay budget of the shrinker per finding")
 		workers      = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS; any count yields the identical report)")
 		crossCheck   = flag.Bool("crosscheck", false, "replay findings on every other registered engine and diff the outcome")
-		replay       = flag.String("replay", "", "replay one crash script with a full trace instead of fuzzing")
+		replay       = flag.String("replay", "", "replay one fault script with a full trace instead of fuzzing")
+		sendOmit     = flag.Float64("send-omit-prob", 0, "per-(process, round) send-omission probability (0 = crash model)")
+		recvOmit     = flag.Float64("recv-omit-prob", 0, "per-(process, round) receive-omission probability")
+		maxOmissive  = flag.Int("max-omissive", 0, "max distinct omission-faulty processes per execution (0 = n-1)")
+		omitOnly     = flag.Bool("omission-only", false, "disable crash injection (pure omission campaign)")
+		expectFind   = flag.Bool("expect-findings", false, "invert the verdict: the campaign passes when it finds (and cleanly replays) at least one violation — for ablations where the paper predicts the break")
+		findingsOut  = flag.String("findings-out", "", "write the findings' replay scripts to this file, one per line")
 	)
 	flag.Parse()
 
 	cfg := agree.FuzzConfig{
 		N: *n, T: *tt, Protocol: agree.Protocol(*protocol),
 		Seeds: *seeds, Seed: *seed0, CrashProb: *crashProb,
+		SendOmitProb: *sendOmit, RecvOmitProb: *recvOmit,
+		MaxOmissive: *maxOmissive, OmissionOnly: *omitOnly,
 		CommitAsData: *commitAsData, Shrink: *shrink, MaxShrinkRuns: *shrinkRuns,
 		Workers: *workers, CrossCheck: *crossCheck,
 	}
@@ -70,12 +82,48 @@ func run() int {
 
 	fmt.Printf("fuzzed        %d seeds (n=%d, t=%d, protocol=%s, crashprob=%g, order=%s, commit-as-data=%t)\n",
 		rep.Seeds, *n, effectiveT(cfg), *protocol, *crashProb, *order, *commitAsData)
+	if *sendOmit > 0 || *recvOmit > 0 {
+		eff := *maxOmissive
+		if eff <= 0 {
+			eff = *n - 1
+		}
+		fmt.Printf("omissions     send-prob=%g recv-prob=%g max-omissive=%d omission-only=%t (oracle: consensus only — round bounds are crash-model theorems)\n",
+			*sendOmit, *recvOmit, eff, *omitOnly)
+	}
 	fmt.Printf("executions    %d (incl. replay verification%s)\n", rep.Executions, shrinkNote(*shrink, *crossCheck))
-	fmt.Printf("max faults    %d\n", rep.MaxFaults)
+	fmt.Printf("max faults    %d crashes, %d omission-faulty\n", rep.MaxFaults, rep.MaxOmissionFaulty)
 	fmt.Printf("max decide    round %d\n", rep.MaxDecideRound)
 	fmt.Printf("decide rounds %s\n", histogram(rep.RoundHistogram))
+
+	divergence := false
+	var scripts []string
+	for _, f := range rep.Findings {
+		if f.CrossCheckErr != nil {
+			divergence = true
+		}
+		script := f.Shrunk
+		if script == "" {
+			script = f.Script
+		}
+		scripts = append(scripts, script)
+	}
+	if *findingsOut != "" {
+		data := ""
+		if len(scripts) > 0 {
+			data = strings.Join(scripts, "\n") + "\n"
+		}
+		if err := os.WriteFile(*findingsOut, []byte(data), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "agreefuzz:", err)
+			return 1
+		}
+	}
+
 	if len(rep.Findings) == 0 {
 		fmt.Println("findings      none — every sampled schedule satisfies the consensus oracles")
+		if *expectFind {
+			fmt.Println("VERDICT: FAIL — the campaign was expected to find a violation (-expect-findings) and did not")
+			return 2
+		}
 		return 0
 	}
 	fmt.Printf("findings      %d\n", len(rep.Findings))
@@ -83,7 +131,8 @@ func run() int {
 		fmt.Printf("  [%d] seed %d: %v\n", i+1, f.Seed, f.Err)
 		fmt.Printf("      script %q\n", f.Script)
 		if f.Shrunk != "" || f.ShrunkErr != nil {
-			fmt.Printf("      shrunk %q (%d crash events): %v\n", f.Shrunk, f.ShrunkCrashes, f.ShrunkErr)
+			fmt.Printf("      shrunk %q (%d crash + %d omission events): %v\n",
+				f.Shrunk, f.ShrunkCrashes, f.ShrunkOmissions, f.ShrunkErr)
 		}
 		if len(f.CrossChecked) > 0 {
 			fmt.Printf("      cross-checked on %v\n", f.CrossChecked)
@@ -91,18 +140,31 @@ func run() int {
 		if f.CrossCheckErr != nil {
 			fmt.Printf("      CROSS-CHECK DIVERGENCE: %v\n", f.CrossCheckErr)
 		}
-		script := f.Shrunk
-		if script == "" {
-			script = f.Script
+		fmt.Printf("      reproduce with -replay '%s'\n", scripts[i])
+	}
+	if *expectFind {
+		if divergence {
+			fmt.Println("VERDICT: FAIL — findings found but a cross-engine replay diverged")
+			return 2
 		}
-		fmt.Printf("      reproduce with -replay '%s'\n", script)
+		how := "found and replay-verified"
+		if *shrink {
+			how = "found, shrunk and replay-verified"
+		}
+		if *crossCheck {
+			how += ", cross-checked on every engine"
+		}
+		fmt.Printf("VERDICT: OK — the predicted violation was %s\n", how)
+		return 0
 	}
 	return 2
 }
 
-// effectiveT mirrors the campaign's T defaulting for the summary line.
+// effectiveT mirrors the campaign's crash-budget defaulting for the summary
+// line: zero under -omission-only (crash injection disabled), n-1 when
+// unset, the flag value otherwise.
 func effectiveT(cfg agree.FuzzConfig) int {
-	if cfg.N == 1 {
+	if cfg.OmissionOnly || cfg.N == 1 {
 		return 0
 	}
 	if cfg.T <= 0 || cfg.T >= cfg.N {
@@ -158,7 +220,8 @@ func replayScript(cfg agree.FuzzConfig, text string) int {
 	}
 	fmt.Print(rep.Transcript)
 	fmt.Println()
-	fmt.Printf("decisions %v (rounds %v), crashed %v\n", rep.Decisions, rep.DecideRound, rep.Crashed)
+	fmt.Printf("decisions %v (rounds %v), crashed %v, omissive %v\n",
+		rep.Decisions, rep.DecideRound, rep.Crashed, rep.Omissive)
 	if rep.Err != nil {
 		fmt.Printf("VERDICT: %v\n", rep.Err)
 		return 2

@@ -175,6 +175,11 @@ type Staged struct {
 }
 
 // Crashes implements sim.Adversary.
+//
+// Staged is deliberately NOT a sim.Omitter: its only users compose
+// crash-only adversaries (the valency analysis), and implementing Omits
+// would route those exhaustive searches through the engines' omission
+// machinery for nothing. Compose omission stages with Combine instead.
 func (s Staged) Crashes(p sim.ProcID, r sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome) {
 	if r <= s.Until {
 		return s.First.Crashes(p, r, plan)
@@ -265,3 +270,106 @@ func (a *FromChooser) Crashes(_ sim.ProcID, r sim.Round, plan sim.SendPlan) (boo
 
 // Crashed returns how many processes have been crashed so far.
 func (a *FromChooser) Crashed() int { return a.crashes }
+
+// maxEnumMsgs clamps the per-event enumeration width: only the first 16
+// messages (or senders) of a step are omittable, which keeps the Choose
+// domain within int range. Proof-sized systems never reach the clamp.
+const maxEnumMsgs = 16
+
+// OmittingFromChooser extends FromChooser with bounded-omission enumeration.
+// It is a separate type — not a flag on FromChooser — so crash-only
+// exploration keeps a non-Omitter adversary: the engines then skip the
+// omission machinery entirely and the crash-model choice spaces (and the
+// engine's allocation profile) are bit-identical to the pre-omission code.
+type OmittingFromChooser struct {
+	FromChooser
+	// OmissionBudget is the maximum number of omission events the adversary
+	// may inject.
+	OmissionBudget int
+	// Procs is the system size n, required for receive-omission enumeration.
+	Procs int
+
+	omitted int
+}
+
+// NewFromChooserWithOmissions builds a chooser-driven adversary that, beyond
+// crashes, enumerates bounded-omission schedules for an n-process system: up
+// to omitBudget omission events, each either a send omission (any non-empty
+// subset of the round's messages suppressed) or a receive omission (any
+// non-empty subset of senders blocked). This is what lets the exhaustive
+// explorer search the omission fault model at proof sizes.
+func NewFromChooserWithOmissions(c Chooser, t int, maxRound sim.Round, omitBudget, n int) *OmittingFromChooser {
+	return &OmittingFromChooser{
+		FromChooser:    FromChooser{C: c, T: t, MaxCrashRound: maxRound},
+		OmissionBudget: omitBudget,
+		Procs:          n,
+	}
+}
+
+// Omits implements sim.Omitter. While budget remains, the choice tree per
+// (process, round) is: omit or not; send vs receive omission (when both are
+// possible); then the non-empty suppressed subset — of the round's
+// data+control messages for a send omission, of the other processes for a
+// receive omission. MaxCrashRound bounds omission events exactly like
+// crashes.
+func (a *OmittingFromChooser) Omits(p sim.ProcID, r sim.Round, plan sim.SendPlan) sim.Omission {
+	if a.omitted >= a.OmissionBudget {
+		return sim.Omission{}
+	}
+	if a.MaxCrashRound > 0 && r > a.MaxCrashRound {
+		return sim.Omission{}
+	}
+	kSend := len(plan.Data) + len(plan.Control)
+	if kSend > maxEnumMsgs {
+		kSend = maxEnumMsgs
+	}
+	kRecv := a.Procs - 1
+	if kRecv > maxEnumMsgs {
+		kRecv = maxEnumMsgs
+	}
+	if kSend <= 0 && kRecv <= 0 {
+		return sim.Omission{}
+	}
+	if a.C.Choose(2) == 0 {
+		return sim.Omission{}
+	}
+	a.omitted++
+	send := kSend > 0
+	if send && kRecv > 0 {
+		send = a.C.Choose(2) == 0
+	}
+	if send {
+		// Send omission: a non-empty suppressed subset of the round's
+		// messages, data positions first, then control positions.
+		sub := a.C.Choose(1<<kSend-1) + 1
+		om := sim.Omission{Data: allTrue(len(plan.Data)), Ctrl: allTrue(len(plan.Control))}
+		for i := 0; i < kSend; i++ {
+			if sub>>i&1 == 0 {
+				continue
+			}
+			if i < len(plan.Data) {
+				om.Data[i] = false
+			} else {
+				om.Ctrl[i-len(plan.Data)] = false
+			}
+		}
+		return om
+	}
+	// Receive omission: a non-empty blocked subset of the other processes.
+	sub := a.C.Choose(1<<kRecv-1) + 1
+	recv := allTrue(a.Procs)
+	idx := 0
+	for q := 1; q <= a.Procs && idx < kRecv; q++ {
+		if sim.ProcID(q) == p {
+			continue
+		}
+		if sub>>idx&1 == 1 {
+			recv[q-1] = false
+		}
+		idx++
+	}
+	return sim.Omission{Recv: recv}
+}
+
+// OmissionEvents returns how many omission events have been injected so far.
+func (a *OmittingFromChooser) OmissionEvents() int { return a.omitted }

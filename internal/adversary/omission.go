@@ -1,0 +1,225 @@
+package adversary
+
+// Omission adversaries: the send/receive-omission fault model, one notch
+// below crash faults in severity and the canonical next fault class for
+// synchronous consensus. An omission-faulty process stays alive and keeps
+// executing the protocol — individual messages it sends or receives simply
+// vanish. The paper's algorithm assumes reliable channels and crash faults
+// only, so omission adversaries are how the repository demonstrates that
+// assumption is load-bearing (and how far the guarantees stretch before it
+// breaks).
+//
+// Mirroring the crash adversaries, three flavours are provided: scripted
+// (OmissionScript), seeded random (RandomOmission) and chooser-driven
+// (OmittingFromChooser, for the exhaustive explorer).
+// Combine composes any crash adversary with any omitter into a mixed
+// crash+omission scenario.
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// OmissionPlan describes the omission faults of one process in one round.
+// The zero plan (beyond Round) omits nothing.
+type OmissionPlan struct {
+	// Round is the round the omissions apply to.
+	Round sim.Round
+	// SendData, if non-nil, selects which data messages of the round's send
+	// plan are transmitted ('true' = transmitted); it is matched positionally
+	// and missing positions are transmitted.
+	SendData []bool
+	// SendCtrl, if non-nil, selects which control messages are transmitted,
+	// positionally against the ordered control sequence. Unlike a crash —
+	// which cuts the sequence at a prefix — an omission may drop any subset.
+	SendCtrl []bool
+	// DropAllSend suppresses the entire send plan (both steps), overriding
+	// SendData/SendCtrl.
+	DropAllSend bool
+	// Recv, if non-nil, selects which senders' messages reach the process
+	// this round (index i = p_{i+1}, 'true' = delivered); missing positions
+	// are delivered.
+	Recv []bool
+	// DropAllRecv suppresses every delivery to the process this round,
+	// overriding Recv.
+	DropAllRecv bool
+}
+
+// omission materializes the plan against a concrete send plan, for a system
+// of n processes.
+func (op OmissionPlan) omission(plan sim.SendPlan, n int) sim.Omission {
+	var om sim.Omission
+	if op.DropAllSend {
+		om.Data = make([]bool, len(plan.Data))
+		om.Ctrl = make([]bool, len(plan.Control))
+	} else {
+		if op.SendData != nil {
+			om.Data = sim.DeliveredMask(op.SendData, len(plan.Data))
+		}
+		if op.SendCtrl != nil {
+			om.Ctrl = sim.DeliveredMask(op.SendCtrl, len(plan.Control))
+		}
+	}
+	switch {
+	case op.DropAllRecv:
+		om.Recv = make([]bool, n)
+	case op.Recv != nil:
+		om.Recv = append([]bool(nil), op.Recv...)
+	}
+	return om
+}
+
+// OmissionScript injects omission faults according to explicit per-process
+// plans; it never crashes anybody. A process may have plans in several rounds
+// (omissions, unlike crashes, are repeatable); the first plan matching the
+// round applies. As a pure function of (process, round, plan) it is
+// order-insensitive and replays identically on every engine.
+type OmissionScript struct {
+	// N is the number of processes (needed to materialize DropAllRecv).
+	N int
+	// Plans maps each omission-faulty process to its per-round plans.
+	Plans map[sim.ProcID][]OmissionPlan
+}
+
+// NewOmissionScript builds a scripted omission adversary for an n-process
+// system.
+func NewOmissionScript(n int, plans map[sim.ProcID][]OmissionPlan) *OmissionScript {
+	return &OmissionScript{N: n, Plans: plans}
+}
+
+// Crashes implements sim.Adversary: a pure omission script crashes nobody.
+func (s *OmissionScript) Crashes(sim.ProcID, sim.Round, sim.SendPlan) (bool, sim.CrashOutcome) {
+	return false, sim.CrashOutcome{}
+}
+
+// Omits implements sim.Omitter.
+func (s *OmissionScript) Omits(p sim.ProcID, r sim.Round, plan sim.SendPlan) sim.Omission {
+	for _, op := range s.Plans[p] {
+		if op.Round == r {
+			return op.omission(plan, s.N)
+		}
+	}
+	return sim.Omission{}
+}
+
+// RandomOmission injects omission faults at random: once a process commits an
+// omission it counts against the MaxFaulty budget of distinct omission-faulty
+// processes; each of its outgoing messages is omitted with probability
+// SendProb and each sender's deliveries to it are omitted with probability
+// RecvProb, independently per round. With MaxFaulty = n and RecvProb = 0 this
+// is exactly the classic lossy-channel ablation (every message independently
+// lost with SendProb), which is how E14 demonstrates the model's
+// reliable-channel precondition.
+//
+// RandomOmission is deterministic for a fixed seed on the deterministic
+// engine; like every stateful randomized adversary it is order-sensitive and
+// must not be used for cross-engine comparison.
+type RandomOmission struct {
+	rng       *rand.Rand
+	SendProb  float64
+	RecvProb  float64
+	MaxFaulty int
+	N         int
+
+	faulty map[sim.ProcID]bool
+}
+
+// NewRandomOmission builds a seeded random omission adversary for an
+// n-process system: at most maxFaulty distinct processes turn omission
+// faulty, each dropping sent messages with probability sendProb and inbound
+// senders with probability recvProb.
+func NewRandomOmission(seed int64, sendProb, recvProb float64, maxFaulty, n int) *RandomOmission {
+	return &RandomOmission{
+		rng: rand.New(rand.NewSource(seed)), SendProb: sendProb, RecvProb: recvProb,
+		MaxFaulty: maxFaulty, N: n, faulty: make(map[sim.ProcID]bool),
+	}
+}
+
+// Crashes implements sim.Adversary: a pure omission adversary crashes nobody.
+func (a *RandomOmission) Crashes(sim.ProcID, sim.Round, sim.SendPlan) (bool, sim.CrashOutcome) {
+	return false, sim.CrashOutcome{}
+}
+
+// Omits implements sim.Omitter.
+func (a *RandomOmission) Omits(p sim.ProcID, r sim.Round, plan sim.SendPlan) sim.Omission {
+	if !a.faulty[p] && len(a.faulty) >= a.MaxFaulty {
+		return sim.Omission{}
+	}
+	var om sim.Omission
+	dropped := false
+	for i := range plan.Data {
+		if a.rng.Float64() < a.SendProb {
+			if om.Data == nil {
+				om.Data = allTrue(len(plan.Data))
+			}
+			om.Data[i] = false
+			dropped = true
+		}
+	}
+	for i := range plan.Control {
+		if a.rng.Float64() < a.SendProb {
+			if om.Ctrl == nil {
+				om.Ctrl = allTrue(len(plan.Control))
+			}
+			om.Ctrl[i] = false
+			dropped = true
+		}
+	}
+	if a.RecvProb > 0 {
+		for q := 1; q <= a.N; q++ {
+			if sim.ProcID(q) == p {
+				continue
+			}
+			if a.rng.Float64() < a.RecvProb {
+				if om.Recv == nil {
+					om.Recv = allTrue(a.N)
+				}
+				om.Recv[q-1] = false
+				dropped = true
+			}
+		}
+	}
+	if !dropped {
+		return sim.Omission{}
+	}
+	a.faulty[p] = true
+	return om
+}
+
+// Faulty returns how many distinct processes have committed omission faults.
+func (a *RandomOmission) Faulty() int { return len(a.faulty) }
+
+// allTrue returns a delivered-mask of length k with every message delivered.
+func allTrue(k int) []bool {
+	out := make([]bool, k)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+// combined composes a crash adversary with an omitter into one mixed
+// crash+omission adversary. The engines guarantee the omitter is only
+// consulted for processes the crash adversary spared this round.
+type combined struct {
+	crash sim.Adversary
+	omit  sim.Omitter
+}
+
+// Combine returns an adversary that crashes per crash and omits per omit —
+// the mixed fault scenario. It is order-insensitive exactly when both parts
+// are.
+func Combine(crash sim.Adversary, omit sim.Omitter) sim.Adversary {
+	return combined{crash: crash, omit: omit}
+}
+
+// Crashes implements sim.Adversary.
+func (c combined) Crashes(p sim.ProcID, r sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome) {
+	return c.crash.Crashes(p, r, plan)
+}
+
+// Omits implements sim.Omitter.
+func (c combined) Omits(p sim.ProcID, r sim.Round, plan sim.SendPlan) sim.Omission {
+	return c.omit.Omits(p, r, plan)
+}

@@ -208,8 +208,7 @@ type ExploreOpts struct {
 }
 
 // engineRunner runs a sequence of executions, reusing one engine whenever the
-// configs are compatible (same model/horizon/trace, no loss hook — loss hooks
-// are closures and cannot be compared, so they conservatively disable reuse).
+// configs are compatible (same model/horizon/trace).
 type engineRunner struct {
 	eng *sim.Engine
 	cfg sim.Config
@@ -219,7 +218,7 @@ type engineRunner struct {
 // third return is a construction error (bad processes/adversary), which is
 // fatal to an exploration.
 func (er *engineRunner) run(ex Execution) (*sim.Result, error, error) {
-	if er.eng != nil && ex.Cfg.Loss == nil && er.cfg.Loss == nil &&
+	if er.eng != nil &&
 		ex.Cfg.Model == er.cfg.Model && ex.Cfg.Horizon == er.cfg.Horizon &&
 		ex.Cfg.Trace == er.cfg.Trace {
 		if err := er.eng.Reset(ex.Procs, ex.Adv); err != nil {

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/adversary"
 	"repro/internal/check"
@@ -102,6 +101,11 @@ func equalValues(a, b []sim.Value) bool {
 // guarantees collapse even with ZERO crashes — losing a single DATA message
 // while the pipelined COMMIT survives makes a process decide its stale
 // estimate.
+//
+// Loss is expressed through the first-class omission fault model: a lossy
+// channel is a send omission at the sender (every process allowed to be
+// omission faulty = every message independently losable), so the ablation
+// needs no special engine hook and runs identically on both engines.
 func E14LossyChannels() *Table {
 	t := &Table{
 		ID:      "E14",
@@ -111,11 +115,11 @@ func E14LossyChannels() *Table {
 	}
 	ok := true
 	props := []sim.Value{10, 11, 12, 13}
+	n := len(props)
 
-	runWithLoss := func(loss func(sim.Message) bool) (*sim.Result, error) {
+	runWith := func(adv sim.Adversary) (*sim.Result, error) {
 		procs := core.NewSystem(props, core.Options{})
-		eng, err := sim.NewEngine(sim.Config{Model: sim.ModelExtended, Horizon: 6, Loss: loss},
-			procs, adversary.None{})
+		eng, err := sim.NewEngine(sim.Config{Model: sim.ModelExtended, Horizon: 6}, procs, adv)
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +127,7 @@ func E14LossyChannels() *Table {
 	}
 
 	// Reliable control run.
-	res, err := runWithLoss(nil)
+	res, err := runWith(adversary.None{})
 	if err != nil {
 		ok = false
 	} else {
@@ -134,10 +138,11 @@ func E14LossyChannels() *Table {
 
 	// Targeted single loss: DATA p1->p2 in round 1 vanishes, the COMMIT
 	// survives; p2 decides its own proposal while everyone else decides
-	// p1's.
-	res, err = runWithLoss(func(m sim.Message) bool {
-		return m.Round == 1 && m.Kind == sim.Data && m.From == 1 && m.To == 2
-	})
+	// p1's. (The round-1 coordinator broadcasts data to p2..pn in order, so
+	// the first data position is the p2 message.)
+	res, err = runWith(adversary.NewOmissionScript(n, map[sim.ProcID][]adversary.OmissionPlan{
+		1: {{Round: 1, SendData: []bool{false}}},
+	}))
 	if err != nil {
 		ok = false
 	} else {
@@ -146,12 +151,13 @@ func E14LossyChannels() *Table {
 		t.AddRow("lose one DATA (commit survives)", res.Faults(), len(res.DistinctDecisions()), !broken)
 	}
 
-	// Random loss sweep: count agreement violations across seeds.
+	// Random loss sweep: count agreement violations across seeds. Every
+	// process may be omission faulty and each sent message is independently
+	// lost — the classic lossy-network scenario.
 	const seeds, rate = 200, 0.15
 	violations := 0
 	for seed := int64(0); seed < seeds; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		res, err := runWithLoss(func(sim.Message) bool { return rng.Float64() < rate })
+		res, err := runWith(adversary.NewRandomOmission(seed, rate, 0, n, n))
 		if err != nil {
 			continue // loss can also starve termination; agreement is the focus here
 		}

@@ -11,16 +11,32 @@ import (
 
 // Gen tunes the random-walk schedule generator.
 type Gen struct {
-	// T is the crash budget: the walk crashes at most T processes.
+	// T is the crash budget: the walk crashes at most T processes. A zero
+	// budget disables crash faults entirely (pure omission campaigns).
 	T int
-	// CrashProb is the per-(process, round) crash probability (default 0.25).
+	// CrashProb is the per-(process, round) crash probability (default 0.25
+	// when T > 0).
 	CrashProb float64
-	// MaxCrashRound, if positive, is the last round a crash may be injected
-	// in. Crashes after every correct process has decided cannot affect the
-	// outcome, so campaigns bound this at the protocol's round bound to keep
-	// schedules dense.
+	// MaxCrashRound, if positive, is the last round a fault (crash or
+	// omission) may be injected in. Faults after every correct process has
+	// decided cannot affect the outcome, so campaigns bound this at the
+	// protocol's round bound to keep schedules dense.
 	MaxCrashRound int
+	// SendOmitProb is the per-(process, round) probability of injecting a
+	// send-omission event (a random non-empty subset of the round's messages
+	// vanishes). Zero disables send omissions.
+	SendOmitProb float64
+	// RecvOmitProb is the per-(process, round) probability of injecting a
+	// receive-omission event (a random non-empty subset of senders is
+	// blocked). Zero disables receive omissions.
+	RecvOmitProb float64
+	// MaxOmissive bounds the number of distinct omission-faulty processes
+	// (0 = no bound).
+	MaxOmissive int
 }
+
+// omitting reports whether the generator injects omission faults at all.
+func (g Gen) omitting() bool { return g.SendOmitProb > 0 || g.RecvOmitProb > 0 }
 
 // crashProb returns the configured or default crash probability.
 func (g Gen) crashProb() float64 {
@@ -31,16 +47,19 @@ func (g Gen) crashProb() float64 {
 }
 
 // recorder is the generating adversary: a seeded random walk over the legal
-// crash choices of the model (crash or not, data-step vs control-step crash
-// point, escaped subset / prefix), recording every crash it injects as a
+// fault choices of the model — crash or not (data-step vs control-step crash
+// point, escaped subset / prefix) and, when the generator enables them,
+// send/receive-omission events — recording every fault it injects as a
 // replayable Event. On the deterministic engine — which consults the
 // adversary in a fixed (round, process) order — the walk is a pure function
 // of the seed.
 type recorder struct {
-	rng     *rand.Rand
-	gen     Gen
-	crashes int
-	events  []Event
+	rng      *rand.Rand
+	gen      Gen
+	n        int // system size, for receive-omission sender masks
+	crashes  int
+	omissive map[int]bool
+	events   []Event
 }
 
 // Crashes implements sim.Adversary. The choice tree mirrors
@@ -76,6 +95,96 @@ func (rec *recorder) Crashes(p sim.ProcID, r sim.Round, plan sim.SendPlan) (bool
 		Proc: int(p), Round: int(r), Data: append([]bool(nil), mask...), Ctrl: ctrl,
 	})
 	return true, sim.CrashOutcome{DataDelivered: mask, CtrlPrefix: ctrl}
+}
+
+// omittingRecorder is the sim.Omitter face of a recorder. RunSeed attaches
+// it only when the generator actually injects omissions, so crash-only
+// campaigns keep a non-Omitter adversary and ride the engines' crash-model
+// path untouched.
+type omittingRecorder struct{ *recorder }
+
+// Omits implements sim.Omitter: with probability SendOmitProb the process
+// send-omits a random non-empty subset of this round's messages, and
+// independently with probability RecvOmitProb it blocks a random non-empty
+// subset of senders — while the budget of distinct omission-faulty processes
+// lasts. Every injected event is recorded for replay.
+func (rec omittingRecorder) Omits(p sim.ProcID, r sim.Round, plan sim.SendPlan) sim.Omission {
+	g := rec.gen
+	if g.MaxCrashRound > 0 && int(r) > g.MaxCrashRound {
+		return sim.Omission{}
+	}
+	if g.MaxOmissive > 0 && !rec.omissive[int(p)] && len(rec.omissive) >= g.MaxOmissive {
+		return sim.Omission{}
+	}
+	var om sim.Omission
+	k := len(plan.Data) + len(plan.Control)
+	if k > 0 && g.SendOmitProb > 0 && rec.rng.Float64() < g.SendOmitProb {
+		// Uniform non-empty dropped subset over data then control positions.
+		drop := rec.nonEmptySubset(k)
+		om.Data = make([]bool, len(plan.Data))
+		om.Ctrl = make([]bool, len(plan.Control))
+		for i := 0; i < k; i++ {
+			delivered := !drop[i]
+			if i < len(plan.Data) {
+				om.Data[i] = delivered
+			} else {
+				om.Ctrl[i-len(plan.Data)] = delivered
+			}
+		}
+		rec.events = append(rec.events, Event{
+			Kind: EventSendOmit, Proc: int(p), Round: int(r),
+			Data:     append([]bool(nil), om.Data...),
+			CtrlMask: append([]bool(nil), om.Ctrl...),
+		})
+	}
+	if rec.n > 1 && g.RecvOmitProb > 0 && rec.rng.Float64() < g.RecvOmitProb {
+		// Uniform non-empty blocked subset of the other processes.
+		drop := rec.nonEmptySubset(rec.n - 1)
+		om.Recv = make([]bool, rec.n)
+		idx := 0
+		for q := 1; q <= rec.n; q++ {
+			if sim.ProcID(q) == p {
+				om.Recv[q-1] = true
+				continue
+			}
+			om.Recv[q-1] = !drop[idx]
+			idx++
+		}
+		rec.events = append(rec.events, Event{
+			Kind: EventRecvOmit, Proc: int(p), Round: int(r),
+			From: append([]bool(nil), om.Recv...),
+		})
+	}
+	if om.IsZero() {
+		return sim.Omission{}
+	}
+	if rec.omissive == nil {
+		rec.omissive = map[int]bool{}
+	}
+	rec.omissive[int(p)] = true
+	return om
+}
+
+// nonEmptySubset draws a subset of {0..k-1} with each position included
+// independently with probability 1/2, forcing one uniformly-chosen member
+// when the draw comes out empty. (That redistribution puts the all-empty
+// mass on the singletons, so the result slightly over-weights them relative
+// to true conditioning on non-emptiness — a deliberate trade: the draw
+// count stays fixed, keeping the walk a simple function of the seed, and
+// over-weighting minimal fault footprints is fine for fuzzing.)
+func (rec *recorder) nonEmptySubset(k int) []bool {
+	drop := make([]bool, k)
+	any := false
+	for i := range drop {
+		if rec.rng.Intn(2) == 1 {
+			drop[i] = true
+			any = true
+		}
+	}
+	if !any {
+		drop[rec.rng.Intn(k)] = true
+	}
+	return drop
 }
 
 // script returns the recorded schedule in canonical order.
@@ -130,10 +239,12 @@ type Outcome struct {
 	ShrunkErr error
 	// Executions counts engine runs spent on this seed (1 + replay + shrink).
 	Executions int
-	// Rounds, MaxDecideRound and Faults summarize the generated run.
+	// Rounds, MaxDecideRound, Faults and Omissive summarize the generated
+	// run (Faults counts crashes, Omissive counts omission-faulty processes).
 	Rounds         sim.Round
 	MaxDecideRound sim.Round
 	Faults         int
+	Omissive       int
 }
 
 // ErrReplayDiverged is returned when a recorded script does not reproduce
@@ -149,9 +260,15 @@ var ErrReplayDiverged = errors.New("fuzz: recorded script did not reproduce the 
 func RunSeed(eng harness.Engine, factory Factory, oracle Oracle, seed int64, opts Options) (Outcome, error) {
 	out := Outcome{Seed: seed}
 	tgt := factory()
-	rec := &recorder{rng: rand.New(rand.NewSource(seed)), gen: opts.Gen}
+	rec := &recorder{rng: rand.New(rand.NewSource(seed)), gen: opts.Gen, n: len(tgt.Procs)}
+	var adv sim.Adversary = rec
+	if opts.Gen.omitting() {
+		// Only omission-injecting generators present an Omitter to the
+		// engine; crash-only campaigns stay on the crash-model path.
+		adv = omittingRecorder{rec}
+	}
 	res, runErr := eng.Run(harness.Job{
-		Model: tgt.Model, Horizon: tgt.Horizon, Procs: tgt.Procs, Adv: rec,
+		Model: tgt.Model, Horizon: tgt.Horizon, Procs: tgt.Procs, Adv: adv,
 	})
 	if res == nil {
 		return out, fmt.Errorf("fuzz: seed %d: %w", seed, runErr)
@@ -161,6 +278,7 @@ func RunSeed(eng harness.Engine, factory Factory, oracle Oracle, seed int64, opt
 	out.Rounds = res.Rounds
 	out.MaxDecideRound = res.MaxDecideRound()
 	out.Faults = res.Faults()
+	out.Omissive = res.OmissionFaulty()
 	out.Err = oracle(tgt.Proposals, res, runErr)
 	if out.Err == nil {
 		return out, nil

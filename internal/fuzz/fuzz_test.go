@@ -70,12 +70,12 @@ func TestScriptRoundTrip(t *testing.T) {
 
 func TestParseRejects(t *testing.T) {
 	cases := []string{
-		"p1@r1",           // no mask/ctrl
-		"p1@r1:102/0",     // bad mask digit
-		"p0@r1:1/0",       // process out of range
-		"p1@r0:1/0",       // round out of range
-		"p1@r1:1/-1",      // negative control prefix
-		"p1@r1:10/1",      // control prefix with partial data
+		"p1@r1",               // no mask/ctrl
+		"p1@r1:102/0",         // bad mask digit
+		"p0@r1:1/0",           // process out of range
+		"p1@r0:1/0",           // round out of range
+		"p1@r1:1/-1",          // negative control prefix
+		"p1@r1:10/1",          // control prefix with partial data
 		"p1@r1:1/0;p1@r2:1/0", // double crash
 		"bogus",
 	}

@@ -1,14 +1,15 @@
 // Package fuzz turns the deterministic engine into a property-based tester:
 // a seeded random-walk adversary drives executions through randomly sampled
-// crash schedules at sizes the exhaustive explorer (internal/check) cannot
-// reach, every sampled choice is recorded into a compact replayable Script,
-// each run is validated against the consensus oracles, and violating scripts
-// are minimized by a delta-debugging shrinker while preserving the failure.
+// fault schedules — crash faults and send/receive-omission faults — at sizes
+// the exhaustive explorer (internal/check) cannot reach, every sampled choice
+// is recorded into a compact replayable Script, each run is validated against
+// the consensus oracles, and violating scripts are minimized by a
+// delta-debugging shrinker while preserving the failure.
 //
 // The pipeline per seed is
 //
 //	generate (recording adversary) → validate (oracle) → replay-verify →
-//	shrink (fewer crashes → later crashes → smaller escape sets)
+//	shrink (fewer events → later events → smaller fault footprints)
 //
 // and every stage is a deterministic function of the seed, which is what lets
 // the campaign runner (agree.Fuzz) fan seeds across a worker pool and still
@@ -24,32 +25,97 @@ import (
 	"repro/internal/sim"
 )
 
-// Event is one recorded crash: process Proc crashes during its send phase of
-// round Round, the data messages selected by Data escape (positionally
-// against the plan of that round), and Ctrl control messages (a prefix of the
-// ordered sequence) escape. The model's single-crash-point rule means a
-// non-zero Ctrl implies every Data entry is true (the data step completed).
+// EventKind distinguishes the fault classes a script event can carry.
+type EventKind uint8
+
+const (
+	// EventCrash is a crash fault: the process dies during its send phase,
+	// the selected data subset and control prefix escape. The zero value, so
+	// pre-omission scripts keep their meaning.
+	EventCrash EventKind = iota
+	// EventSendOmit is a send-omission fault: the process stays alive but
+	// the masked-out messages of this round's send plan silently vanish.
+	EventSendOmit
+	// EventRecvOmit is a receive-omission fault: the process stays alive but
+	// every round-r message from the masked-out senders vanishes at its
+	// interface.
+	EventRecvOmit
+)
+
+// String returns the kind's script tag.
+func (k EventKind) String() string {
+	switch k {
+	case EventSendOmit:
+		return "so"
+	case EventRecvOmit:
+		return "ro"
+	default:
+		return "crash"
+	}
+}
+
+// Event is one recorded fault, keyed by (Proc, Round, Kind).
+//
+// For EventCrash: the data messages selected by Data escape (positionally
+// against the plan of that round, missing positions drop) and Ctrl control
+// messages (a prefix of the ordered sequence) escape; the model's
+// single-crash-point rule means a non-zero Ctrl implies every Data entry is
+// true.
+//
+// For EventSendOmit: Data and CtrlMask are delivered-masks over the round's
+// data messages and control sequence (missing positions are DELIVERED — an
+// omission names what it drops, the mirror image of the crash convention).
+//
+// For EventRecvOmit: From is a delivered-mask over senders (index i =
+// p_{i+1}; missing positions are delivered).
 type Event struct {
+	Kind  EventKind
 	Proc  int
 	Round int
 	Data  []bool
 	Ctrl  int
+	// CtrlMask is the send-omission delivered-mask over the ordered control
+	// sequence (EventSendOmit only; a crash cuts a prefix, an omission may
+	// drop any subset).
+	CtrlMask []bool
+	// From is the receive-omission delivered-mask over senders
+	// (EventRecvOmit only).
+	From []bool
 }
 
-// String renders the event in the script format: p<proc>@r<round>:<mask>/<ctrl>,
-// the mask as '1'/'0' per data message, e.g. "p3@r1:101/0".
+// String renders the event in the script format:
+//
+//	crash      p<proc>@r<round>:<data mask>/<ctrl prefix>   e.g. "p3@r1:101/0"
+//	send-omit  p<proc>@r<round>:so:<data mask>/<ctrl mask>  e.g. "p3@r1:so:01/11"
+//	recv-omit  p<proc>@r<round>:ro:<sender mask>            e.g. "p3@r1:ro:011"
 func (e Event) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "p%d@r%d:", e.Proc, e.Round)
-	for _, d := range e.Data {
+	switch e.Kind {
+	case EventSendOmit:
+		b.WriteString("so:")
+		writeMask(&b, e.Data)
+		b.WriteByte('/')
+		writeMask(&b, e.CtrlMask)
+	case EventRecvOmit:
+		b.WriteString("ro:")
+		writeMask(&b, e.From)
+	default:
+		writeMask(&b, e.Data)
+		fmt.Fprintf(&b, "/%d", e.Ctrl)
+	}
+	return b.String()
+}
+
+// writeMask renders a boolean mask as '1'/'0' per position.
+func writeMask(b *strings.Builder, mask []bool) {
+	for _, d := range mask {
 		if d {
 			b.WriteByte('1')
 		} else {
 			b.WriteByte('0')
 		}
 	}
-	fmt.Fprintf(&b, "/%d", e.Ctrl)
-	return b.String()
 }
 
 // escapes returns how many messages of the event escape (shrink ordering).
@@ -63,8 +129,18 @@ func (e Event) escapes() int {
 	return n
 }
 
-// Script is a replayable crash schedule: at most one event per process, in
-// (round, process) order. The empty script is the failure-free schedule.
+// clone returns a deep copy of the event.
+func (e Event) clone() Event {
+	e.Data = append([]bool(nil), e.Data...)
+	e.CtrlMask = append([]bool(nil), e.CtrlMask...)
+	e.From = append([]bool(nil), e.From...)
+	return e
+}
+
+// Script is a replayable fault schedule: crash and omission events in
+// canonical (round, process, kind) order — at most one crash per process,
+// at most one event per (kind, process, round). The empty script is the
+// failure-free schedule.
 //
 // A script is order-insensitive — replaying it is a pure function of
 // (process, round, plan) — so it reproduces identically on every engine,
@@ -84,34 +160,63 @@ func (s Script) String() string {
 }
 
 // Crashes returns the number of crash events.
-func (s Script) Crashes() int { return len(s.Events) }
+func (s Script) Crashes() int {
+	n := 0
+	for _, e := range s.Events {
+		if e.Kind == EventCrash {
+			n++
+		}
+	}
+	return n
+}
+
+// Omissions returns the number of omission events (send and receive).
+func (s Script) Omissions() int { return len(s.Events) - s.Crashes() }
 
 // Clone returns a deep copy, safe to mutate independently.
 func (s Script) Clone() Script {
 	out := Script{Events: make([]Event, len(s.Events))}
 	for i, e := range s.Events {
-		out.Events[i] = e
-		out.Events[i].Data = append([]bool(nil), e.Data...)
+		out.Events[i] = e.clone()
 	}
 	return out
 }
 
-// normalize sorts events into canonical (round, process) order.
+// normalize sorts events into canonical (round, process, kind) order.
 func (s *Script) normalize() {
 	sort.Slice(s.Events, func(i, j int) bool {
 		a, b := s.Events[i], s.Events[j]
 		if a.Round != b.Round {
 			return a.Round < b.Round
 		}
-		return a.Proc < b.Proc
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Kind < b.Kind
 	})
 }
 
 // validate rejects malformed scripts: events must name positive processes
-// and rounds, keep Ctrl non-negative, respect the single-crash-point rule
-// (Ctrl > 0 requires a fully-true mask), and no process may crash twice.
+// and rounds; a crash must keep Ctrl non-negative and respect the
+// single-crash-point rule (Ctrl > 0 requires a fully-true mask); no process
+// may crash twice; no (kind, process, round) may repeat; and a process's
+// omission events must precede its crash round (from the crash round on it
+// sends and receives nothing, so later omissions could never fire).
 func (s Script) validate() error {
-	seen := map[int]bool{}
+	crashRound := map[int]int{}
+	for _, e := range s.Events {
+		if e.Kind == EventCrash {
+			if crashRound[e.Proc] != 0 {
+				return fmt.Errorf("fuzz: p%d crashes twice", e.Proc)
+			}
+			crashRound[e.Proc] = e.Round
+		}
+	}
+	type key struct {
+		k    EventKind
+		p, r int
+	}
+	seen := map[key]bool{}
 	for _, e := range s.Events {
 		if e.Proc < 1 {
 			return fmt.Errorf("fuzz: event %s: process out of range", e)
@@ -119,22 +224,46 @@ func (s Script) validate() error {
 		if e.Round < 1 {
 			return fmt.Errorf("fuzz: event %s: round out of range", e)
 		}
-		if e.Ctrl < 0 {
-			return fmt.Errorf("fuzz: event %s: negative control prefix", e)
-		}
-		if e.Ctrl > 0 {
-			for _, d := range e.Data {
-				if !d {
-					return fmt.Errorf("fuzz: event %s: control prefix with partial data (crash point is unique)", e)
+		switch e.Kind {
+		case EventCrash:
+			if e.Ctrl < 0 {
+				return fmt.Errorf("fuzz: event %s: negative control prefix", e)
+			}
+			if e.Ctrl > 0 {
+				for _, d := range e.Data {
+					if !d {
+						return fmt.Errorf("fuzz: event %s: control prefix with partial data (crash point is unique)", e)
+					}
 				}
 			}
+		case EventSendOmit, EventRecvOmit:
+			if cr := crashRound[e.Proc]; cr != 0 && e.Round >= cr {
+				return fmt.Errorf("fuzz: event %s: omission at or after p%d's crash round %d", e, e.Proc, cr)
+			}
+			// An omission event must drop something: all-delivered masks are
+			// a semantic no-op, yet they would mark the process omissive and
+			// flip replay onto the omission-model oracle.
+			if !dropsAny(e.Data) && !dropsAny(e.CtrlMask) && !dropsAny(e.From) {
+				return fmt.Errorf("fuzz: event %s: omission drops nothing", e)
+			}
 		}
-		if seen[e.Proc] {
-			return fmt.Errorf("fuzz: p%d crashes twice", e.Proc)
+		k := key{e.Kind, e.Proc, e.Round}
+		if seen[k] {
+			return fmt.Errorf("fuzz: duplicate %s event for p%d@r%d", e.Kind, e.Proc, e.Round)
 		}
-		seen[e.Proc] = true
+		seen[k] = true
 	}
 	return nil
+}
+
+// dropsAny reports whether a delivered-mask suppresses at least one position.
+func dropsAny(mask []bool) bool {
+	for _, d := range mask {
+		if !d {
+			return true
+		}
+	}
+	return false
 }
 
 // Parse decodes a script rendered by Script.String. The empty string is the
@@ -159,10 +288,12 @@ func Parse(text string) (Script, error) {
 	return s, nil
 }
 
-// parseEvent decodes one "p<proc>@r<round>:<mask>/<ctrl>" element.
+// parseEvent decodes one script element: "p<proc>@r<round>:<mask>/<ctrl>"
+// (crash), "p<proc>@r<round>:so:<mask>/<mask>" (send omission) or
+// "p<proc>@r<round>:ro:<mask>" (receive omission).
 func parseEvent(text string) (Event, error) {
 	bad := func() (Event, error) {
-		return Event{}, fmt.Errorf("fuzz: bad script event %q (want p<proc>@r<round>:<mask>/<ctrl>)", text)
+		return Event{}, fmt.Errorf("fuzz: bad script event %q (want p<proc>@r<round>:<mask>/<ctrl>, :so:<mask>/<mask> or :ro:<mask>)", text)
 	}
 	rest, ok := strings.CutPrefix(text, "p")
 	if !ok {
@@ -176,10 +307,6 @@ func parseEvent(text string) (Event, error) {
 	if !ok {
 		return bad()
 	}
-	maskStr, ctrlStr, ok := strings.Cut(rest, "/")
-	if !ok {
-		return bad()
-	}
 	proc, err := strconv.Atoi(procStr)
 	if err != nil {
 		return bad()
@@ -188,48 +315,101 @@ func parseEvent(text string) (Event, error) {
 	if err != nil {
 		return bad()
 	}
-	ctrl, err := strconv.Atoi(ctrlStr)
-	if err != nil {
-		return bad()
-	}
-	e := Event{Proc: proc, Round: round, Ctrl: ctrl}
-	for _, c := range maskStr {
-		switch c {
-		case '1':
-			e.Data = append(e.Data, true)
-		case '0':
-			e.Data = append(e.Data, false)
-		default:
+	e := Event{Proc: proc, Round: round}
+	switch {
+	case strings.HasPrefix(rest, "so:"):
+		e.Kind = EventSendOmit
+		dataStr, ctrlStr, ok := strings.Cut(strings.TrimPrefix(rest, "so:"), "/")
+		if !ok {
+			return bad()
+		}
+		if e.Data, err = parseMask(dataStr); err != nil {
+			return bad()
+		}
+		if e.CtrlMask, err = parseMask(ctrlStr); err != nil {
+			return bad()
+		}
+	case strings.HasPrefix(rest, "ro:"):
+		e.Kind = EventRecvOmit
+		if e.From, err = parseMask(strings.TrimPrefix(rest, "ro:")); err != nil {
+			return bad()
+		}
+	default:
+		maskStr, ctrlStr, ok := strings.Cut(rest, "/")
+		if !ok {
+			return bad()
+		}
+		if e.Ctrl, err = strconv.Atoi(ctrlStr); err != nil {
+			return bad()
+		}
+		if e.Data, err = parseMask(maskStr); err != nil {
 			return bad()
 		}
 	}
 	return e, nil
 }
 
-// replayer replays a Script as a sim.Adversary. It is a pure read-only
-// function of (process, round, plan) — safe for the lockstep runtime's
-// concurrent (mutex-serialized, but scheduling-ordered) consultation — and
-// total over mutated scripts: the mask is matched positionally against the
-// concrete plan (missing positions drop, extras are ignored), the control
-// prefix clamps to the plan's control sequence, and if any delivered data
-// bit is false the control prefix is forced to zero so the outcome always
-// respects the model's single-crash-point rule.
-type replayer struct {
-	byProc map[int]Event
+// parseMask decodes a '1'/'0' mask (the empty mask is valid).
+func parseMask(text string) ([]bool, error) {
+	var mask []bool
+	for _, c := range text {
+		switch c {
+		case '1':
+			mask = append(mask, true)
+		case '0':
+			mask = append(mask, false)
+		default:
+			return nil, fmt.Errorf("fuzz: bad mask %q", text)
+		}
+	}
+	return mask, nil
 }
 
-// Adversary returns a replaying sim.Adversary for the script.
+// replayer replays a Script as a sim.Adversary with omission support. It is
+// a pure read-only function of (process, round, plan) — safe for the
+// lockstep runtime's concurrent (mutex-serialized, but scheduling-ordered)
+// consultation — and total over mutated scripts: crash masks are matched
+// positionally against the concrete plan (missing positions drop, extras are
+// ignored) with the control prefix clamped and forced to zero under partial
+// data; omission masks are matched positionally with missing positions
+// DELIVERED, so a mutated omission can only shrink toward the fault-free
+// schedule.
+type replayer struct {
+	crashByProc map[int]Event
+	sendOmit    map[[2]int]Event // keyed (proc, round)
+	recvOmit    map[[2]int]Event
+}
+
+// Adversary returns a replaying sim.Adversary for the script. Crash-only
+// scripts get a non-Omitter adversary, so their replay rides the engines'
+// crash-model path (no omission scratch, no per-(process, round) Omits
+// consults) exactly like the pre-omission code; scripts with omission
+// events get the omitting variant.
 func (s Script) Adversary() sim.Adversary {
-	r := &replayer{byProc: make(map[int]Event, len(s.Events))}
-	for _, e := range s.Events {
-		r.byProc[e.Proc] = e
+	r := &replayer{
+		crashByProc: map[int]Event{},
+		sendOmit:    map[[2]int]Event{},
+		recvOmit:    map[[2]int]Event{},
 	}
-	return r
+	for _, e := range s.Events {
+		switch e.Kind {
+		case EventSendOmit:
+			r.sendOmit[[2]int{e.Proc, e.Round}] = e
+		case EventRecvOmit:
+			r.recvOmit[[2]int{e.Proc, e.Round}] = e
+		default:
+			r.crashByProc[e.Proc] = e
+		}
+	}
+	if len(r.sendOmit) == 0 && len(r.recvOmit) == 0 {
+		return r
+	}
+	return omittingReplayer{r}
 }
 
 // Crashes implements sim.Adversary.
 func (r *replayer) Crashes(p sim.ProcID, rd sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome) {
-	e, ok := r.byProc[int(p)]
+	e, ok := r.crashByProc[int(p)]
 	if !ok || e.Round != int(rd) {
 		return false, sim.CrashOutcome{}
 	}
@@ -250,4 +430,21 @@ func (r *replayer) Crashes(p sim.ProcID, rd sim.Round, plan sim.SendPlan) (bool,
 		ctrl = 0
 	}
 	return true, sim.CrashOutcome{DataDelivered: mask, CtrlPrefix: ctrl}
+}
+
+// omittingReplayer is the sim.Omitter face of a replayer, attached only
+// when the script actually carries omission events.
+type omittingReplayer struct{ *replayer }
+
+// Omits implements sim.Omitter.
+func (r omittingReplayer) Omits(p sim.ProcID, rd sim.Round, plan sim.SendPlan) sim.Omission {
+	var om sim.Omission
+	if e, ok := r.sendOmit[[2]int{int(p), int(rd)}]; ok {
+		om.Data = sim.DeliveredMask(e.Data, len(plan.Data))
+		om.Ctrl = sim.DeliveredMask(e.CtrlMask, len(plan.Control))
+	}
+	if e, ok := r.recvOmit[[2]int{int(p), int(rd)}]; ok {
+		om.Recv = append([]bool(nil), e.From...)
+	}
+	return om
 }

@@ -32,9 +32,9 @@ func (e *simEngine) Capabilities() Capabilities {
 // Run implements Engine. An untraced job whose model and horizon match the
 // previous one reuses the cached engine via Reset; anything else (including
 // every traced job, whose log is a fresh pointer) constructs a new engine.
-// The reuse predicate must cover every sim.Config field a Job can set — if
-// Job ever grows a Loss hook, reuse must be disabled for it, as
-// check.engineRunner does (closures cannot be compared).
+// The reuse predicate must cover every sim.Config field a Job can set.
+// (Fault behaviour — crashes and omissions alike — lives entirely in the
+// adversary, which Reset replaces, so it never constrains reuse.)
 func (e *simEngine) Run(job Job) (*sim.Result, error) {
 	if e.eng != nil && job.Model == e.model && job.Horizon == e.horizon && job.Trace == e.tr {
 		if err := e.eng.Reset(job.Procs, job.Adv); err != nil {

@@ -2,6 +2,7 @@ package lockstep_test
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -236,5 +237,173 @@ func TestCrossCheckDifferentialFuzzSchedules(t *testing.T) {
 	}
 	if sr.Aggregate.CrossChecked != schedules {
 		t.Errorf("cross-checked %d of %d schedules", sr.Aggregate.CrossChecked, schedules)
+	}
+}
+
+// TestCrossCheckDifferentialOmissionSchedules is the omission-model engine
+// differential: 100 fuzzer-generated mixed crash+omission schedules — from
+// the exact recording walk the omission campaigns use — are converted to the
+// public replay format and swept with CrossCheck, so every schedule runs on
+// the deterministic engine and is re-executed on the lockstep runtime; any
+// semantic divergence (rounds, decisions, crash set, omissive set, counters)
+// fails the item. Consensus may legitimately break under omissions (that is
+// the fault model's point), so the test asserts only cross-engine equality,
+// including equality of the consensus verdict. Schedules that starve
+// termination are skipped (both engines would error before producing a
+// comparable report). scripts/verify.sh runs this under -race.
+func TestCrossCheckDifferentialOmissionSchedules(t *testing.T) {
+	const schedules = 100
+	eng, err := harness.New(harness.KindDeterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := make([]agree.Config, 0, schedules)
+	withOmissions := 0
+	for seed := int64(0); len(configs) < schedules; seed++ {
+		n := 3 + int(seed%8) // 3..10 processes
+		props := make([]sim.Value, n)
+		for i := range props {
+			props[i] = sim.Value(100 + i)
+		}
+		factory := func() fuzz.Target {
+			return fuzz.Target{
+				Model:     sim.ModelExtended,
+				Horizon:   sim.Round(n + 2),
+				Procs:     core.NewSystem(props, core.Options{}),
+				Proposals: props,
+			}
+		}
+		out, err := fuzz.RunSeed(eng, factory, fuzz.ConsensusOracle(nil), seed, fuzz.Options{
+			Gen: fuzz.Gen{T: n - 1, CrashProb: 0.15,
+				SendOmitProb: 0.12, RecvOmitProb: 0.08, MaxOmissive: n - 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := agree.ReplayFaults(out.Script.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := agree.Config{N: n, Faults: spec}
+		// Horizon exhaustion yields an engine error, not a report; those
+		// schedules cannot be compared through the sweep and are skipped.
+		if _, err := agree.Run(cfg); err != nil {
+			continue
+		}
+		if out.Omissive > 0 {
+			withOmissions++
+		}
+		configs = append(configs, cfg)
+	}
+	if withOmissions < schedules/4 {
+		t.Fatalf("only %d of %d schedules carry omission events; the differential is not exercising the omission model", withOmissions, schedules)
+	}
+	sr := agree.Sweep(configs, agree.SweepOptions{Workers: 4, CrossCheck: true})
+	for i, item := range sr.Items {
+		if item.Err != nil {
+			t.Errorf("schedule %d (n=%d, %v): %v", i, configs[i].N, configs[i].Faults, item.Err)
+			continue
+		}
+		if len(item.CrossChecked) == 0 {
+			t.Errorf("schedule %d (n=%d): cross-check silently skipped", i, configs[i].N)
+		}
+	}
+	if sr.Aggregate.CrossChecked != schedules {
+		t.Errorf("cross-checked %d of %d schedules", sr.Aggregate.CrossChecked, schedules)
+	}
+}
+
+// randomOmissionSpec builds a random but order-insensitive mixed
+// crash+omission spec at the public API level: a few crash plans plus
+// per-round omission plans (send masks, receive masks, full drops), always
+// legal for FaultSpec validation (omissions strictly before crash rounds).
+func randomOmissionSpec(rng *rand.Rand, n int) agree.FaultSpec {
+	crashes := map[int]agree.CrashPlan{}
+	omissions := map[int][]agree.OmissionPlan{}
+	perm := rng.Perm(n)
+	nCrash := rng.Intn(n / 2)
+	for i := 0; i < nCrash; i++ {
+		crashes[perm[i]+1] = agree.CrashPlan{Round: rng.Intn(n) + 2, DeliverAllData: true, CtrlPrefix: rng.Intn(n)}
+	}
+	nOmit := 1 + rng.Intn(n-1)
+	for i := 0; i < nOmit; i++ {
+		p := perm[rng.Intn(n)] + 1
+		maxRound := n + 1
+		if cp, ok := crashes[p]; ok {
+			maxRound = cp.Round - 1
+		}
+		if maxRound < 1 {
+			continue
+		}
+		rounds := map[int]bool{}
+		for _, op := range omissions[p] {
+			rounds[op.Round] = true
+		}
+		round := rng.Intn(maxRound) + 1
+		if rounds[round] {
+			continue
+		}
+		op := agree.OmissionPlan{Round: round}
+		switch rng.Intn(4) {
+		case 0:
+			op.DropAllSend = true
+		case 1:
+			op.DropAllRecv = true
+		case 2:
+			mask := make([]bool, rng.Intn(n))
+			for j := range mask {
+				mask[j] = rng.Intn(2) == 1
+			}
+			op.SendData = mask
+			op.SendCtrl = mask
+		default:
+			mask := make([]bool, n)
+			for j := range mask {
+				mask[j] = rng.Intn(2) == 1
+			}
+			op.Recv = mask
+		}
+		omissions[p] = append(omissions[p], op)
+	}
+	return agree.CrashesWithOmissions(crashes, omissions)
+}
+
+// TestCrossCheckDifferentialScriptedOmissions property-tests the public
+// scripted-omission constructors across both engines and all three
+// protocols: any semantic divergence between the deterministic and lockstep
+// execution of the same mixed crash+omission spec fails the item.
+// scripts/verify.sh runs this under -race.
+func TestCrossCheckDifferentialScriptedOmissions(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%8) + 3
+		faults := randomOmissionSpec(rng, n)
+		configs := []agree.Config{
+			{N: n, Protocol: agree.ProtocolCRW, Faults: faults},
+			{N: n, Protocol: agree.ProtocolEarlyStop, Faults: faults},
+			{N: n, Protocol: agree.ProtocolFloodSet, Faults: faults},
+		}
+		sr := agree.Sweep(configs, agree.SweepOptions{Workers: 3, CrossCheck: true})
+		for i, item := range sr.Items {
+			if item.Err != nil {
+				// Omission schedules may starve termination; a primary-engine
+				// error is acceptable, but any cross-check error — a
+				// divergence, or a reference engine failing where the primary
+				// succeeded — is not.
+				if strings.Contains(item.Err.Error(), "crosscheck") {
+					t.Logf("seed=%d n=%d %s: %v", seed, n, configs[i].Protocol, item.Err)
+					return false
+				}
+				continue
+			}
+			if len(item.CrossChecked) == 0 {
+				t.Logf("seed=%d n=%d %s: cross-check silently skipped", seed, n, configs[i].Protocol)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
 	}
 }

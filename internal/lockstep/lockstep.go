@@ -50,6 +50,7 @@ type Runtime struct {
 	cfg   Config
 	procs []sim.Process
 	adv   sim.Adversary
+	omit  sim.Omitter // adv's omission extension, nil when absent
 
 	advMu sync.Mutex
 	// mat[i][j] is the channel from p_{i+1} to p_{j+1}.
@@ -60,6 +61,7 @@ type Runtime struct {
 type sendReport struct {
 	id      sim.ProcID
 	crashed bool
+	omitted bool // the adversary injected an omission fault this round
 	err     error
 	ctr     metrics.Counters
 }
@@ -70,6 +72,7 @@ type recvReport struct {
 	decided bool
 	value   sim.Value
 	halted  bool
+	ctr     metrics.Counters // receive-omission accounting
 }
 
 // worker is the per-process goroutine state.
@@ -109,14 +112,23 @@ func New(cfg Config, procs []sim.Process, adv sim.Adversary) (*Runtime, error) {
 			}
 		}
 	}
-	return &Runtime{cfg: cfg, procs: procs, adv: adv, mat: mat}, nil
+	rt := &Runtime{cfg: cfg, procs: procs, adv: adv, mat: mat}
+	rt.omit, _ = adv.(sim.Omitter)
+	return rt, nil
 }
 
-// consult serializes adversary access across worker goroutines.
-func (rt *Runtime) consult(p sim.ProcID, r sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome) {
+// consult serializes adversary access across worker goroutines: the crash
+// decision first and — exactly like the deterministic engine — the omission
+// decision only when the process survives (a crash truncation subsumes any
+// send omission, and a crashed process receives nothing anyway).
+func (rt *Runtime) consult(p sim.ProcID, r sim.Round, plan sim.SendPlan) (bool, sim.CrashOutcome, sim.Omission) {
 	rt.advMu.Lock()
 	defer rt.advMu.Unlock()
-	return rt.adv.Crashes(p, r, plan)
+	crash, outcome := rt.adv.Crashes(p, r, plan)
+	if crash || rt.omit == nil {
+		return crash, outcome, sim.Omission{}
+	}
+	return false, sim.CrashOutcome{}, rt.omit.Omits(p, r, plan)
 }
 
 // run is the worker goroutine body.
@@ -153,19 +165,30 @@ func (rt *Runtime) run(w *worker) {
 				return
 			}
 		}
-		crash, outcome := rt.consult(id, r, plan)
+		crash, outcome, om := rt.consult(id, r, plan)
 		if crash && !outcome.ValidFor(plan) {
 			rep.err = fmt.Errorf("%w (process p%d, round %d)", sim.ErrBadOutcome, id, r)
+			w.sent <- rep
+			return
+		}
+		if !om.IsZero() && !om.ValidFor(plan) {
+			rep.err = fmt.Errorf("%w (process p%d, round %d)", sim.ErrBadOmission, id, r)
 			w.sent <- rep
 			return
 		}
 		if !crash {
 			outcome = sim.FullDelivery(plan)
 		}
-		// Data sending step: the escaped subset goes out in plan order.
+		// Data sending step: the escaped subset goes out in plan order. A
+		// crash truncation and a send omission are accounted differently
+		// (dropped vs omitted), matching the deterministic engine exactly.
 		for i, o := range plan.Data {
 			if !outcome.DataDelivered[i] {
 				rep.ctr.DroppedData++
+				continue
+			}
+			if om.Data != nil && !om.Data[i] {
+				rep.ctr.OmittedData++
 				continue
 			}
 			m := sim.Message{From: id, To: o.To, Round: r, Kind: sim.Data, Payload: o.Payload}
@@ -173,16 +196,22 @@ func (rt *Runtime) run(w *worker) {
 			rep.ctr.AddData(m.Bits())
 		}
 		// Control sending step, immediately after, in the prescribed order;
-		// a crash lets exactly a prefix escape.
+		// a crash lets exactly a prefix escape, a send omission may suppress
+		// any subset (the sender is alive and executes the whole step).
 		for i, to := range plan.Control {
 			if i >= outcome.CtrlPrefix {
 				rep.ctr.DroppedCtrl++
+				continue
+			}
+			if om.Ctrl != nil && !om.Ctrl[i] {
+				rep.ctr.OmittedCtrl++
 				continue
 			}
 			rt.mat[id-1][to-1] <- sim.Message{From: id, To: to, Round: r, Kind: sim.Control}
 			rep.ctr.AddCtrl()
 		}
 		rep.crashed = crash
+		rep.omitted = !om.IsZero()
 		w.sent <- rep
 		if crash {
 			return // the crash: this goroutine is gone forever
@@ -194,6 +223,21 @@ func (rt *Runtime) run(w *worker) {
 			return
 		}
 		inbox := rt.drain(id)
+		rrep := recvReport{id: id}
+		if om.Recv != nil {
+			// Receive omission: deliveries from masked-out senders vanish
+			// before the process sees its inbox.
+			w2 := 0
+			for _, m := range inbox {
+				if i := int(m.From) - 1; i < len(om.Recv) && !om.Recv[i] {
+					rrep.ctr.OmittedRecv++
+					continue
+				}
+				inbox[w2] = m
+				w2++
+			}
+			inbox = inbox[:w2]
+		}
 		sort.SliceStable(inbox, func(i, j int) bool {
 			if inbox[i].From != inbox[j].From {
 				return inbox[i].From < inbox[j].From
@@ -202,9 +246,10 @@ func (rt *Runtime) run(w *worker) {
 		})
 		w.proc.Receive(r, inbox)
 		v, dec := w.proc.Decided()
-		halted := w.proc.Halted()
-		w.done <- recvReport{id: id, decided: dec, value: v, halted: halted}
-		if halted {
+		rrep.decided, rrep.value = dec, v
+		rrep.halted = w.proc.Halted()
+		w.done <- rrep
+		if rrep.halted {
 			return // the protocol returned
 		}
 	}
@@ -264,6 +309,7 @@ func (rt *Runtime) Run() (*sim.Result, error) {
 	}
 	alive := make(map[sim.ProcID]bool, n)
 	halted := map[sim.ProcID]bool{}
+	omissive := map[sim.ProcID]int{}
 	for _, p := range rt.procs {
 		alive[p.ID()] = true
 	}
@@ -297,6 +343,9 @@ func (rt *Runtime) Run() (*sim.Result, error) {
 			if rep.err != nil && firstErr == nil {
 				firstErr = rep.err
 			}
+			if rep.omitted {
+				omissive[rep.id]++
+			}
 			if rep.crashed {
 				alive[rep.id] = false
 				res.Crashed[rep.id] = r
@@ -306,6 +355,7 @@ func (rt *Runtime) Run() (*sim.Result, error) {
 		if firstErr != nil {
 			res.Counters.Rounds = int(r)
 			res.Rounds = r
+			setOmissive(res, omissive)
 			return res, firstErr
 		}
 		// Receive phase (concurrent across surviving workers).
@@ -320,6 +370,7 @@ func (rt *Runtime) Run() (*sim.Result, error) {
 		}
 		for _, w := range receivers {
 			rep := <-w.done
+			res.Counters.Merge(rep.ctr)
 			if rep.decided {
 				if _, seen := res.Decisions[rep.id]; !seen {
 					res.Decisions[rep.id] = rep.value
@@ -346,10 +397,20 @@ func (rt *Runtime) Run() (*sim.Result, error) {
 		if len(active()) != 0 {
 			res.Rounds = r
 			res.Counters.Rounds = int(r)
+			setOmissive(res, omissive)
 			return res, sim.ErrNoProgress
 		}
 	}
 	res.Rounds = r
 	res.Counters.Rounds = int(r)
+	setOmissive(res, omissive)
 	return res, nil
+}
+
+// setOmissive attaches the per-process omission counts to a result, leaving
+// Omissive nil for omission-free runs exactly like the deterministic engine.
+func setOmissive(res *sim.Result, omissive map[sim.ProcID]int) {
+	if len(omissive) > 0 {
+		res.Omissive = omissive
+	}
 }

@@ -30,6 +30,17 @@ type Counters struct {
 	// DroppedCtrl counts control messages suppressed by a crash during the
 	// control sending step (the suffix that never left the sender).
 	DroppedCtrl int
+	// OmittedData counts data messages suppressed by a send-omission fault
+	// (the sender stays alive; the message never reaches the channel).
+	OmittedData int
+	// OmittedCtrl counts control messages suppressed by a send-omission
+	// fault.
+	OmittedCtrl int
+	// OmittedRecv counts messages of either kind suppressed by a
+	// receive-omission fault at their destination (the message was
+	// transmitted — and is counted in DataMsgs/CtrlMsgs — but the faulty
+	// receiver never sees it).
+	OmittedRecv int
 	// Rounds is the number of rounds the execution lasted.
 	Rounds int
 }
@@ -61,12 +72,21 @@ func (c *Counters) Merge(other Counters) {
 	c.CtrlBits += other.CtrlBits
 	c.DroppedData += other.DroppedData
 	c.DroppedCtrl += other.DroppedCtrl
+	c.OmittedData += other.OmittedData
+	c.OmittedCtrl += other.OmittedCtrl
+	c.OmittedRecv += other.OmittedRecv
 	c.Rounds += other.Rounds
 }
 
-// String renders the counters in a compact single-line form.
+// String renders the counters in a compact single-line form. The omission
+// counters appear only when an omission fault actually fired, so the common
+// crash-model output is unchanged.
 func (c *Counters) String() string {
-	return fmt.Sprintf("rounds=%d data=%d(%db) ctrl=%d(%db) dropped=%d/%d",
+	s := fmt.Sprintf("rounds=%d data=%d(%db) ctrl=%d(%db) dropped=%d/%d",
 		c.Rounds, c.DataMsgs, c.DataBits, c.CtrlMsgs, c.CtrlBits,
 		c.DroppedData, c.DroppedCtrl)
+	if c.OmittedData != 0 || c.OmittedCtrl != 0 || c.OmittedRecv != 0 {
+		s += fmt.Sprintf(" omitted=%d/%d/%d", c.OmittedData, c.OmittedCtrl, c.OmittedRecv)
+	}
+	return s
 }

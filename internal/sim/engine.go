@@ -20,6 +20,9 @@ var (
 	// ErrBadOutcome is returned when an adversary produces a malformed crash
 	// outcome (wrong subset length or out-of-range prefix).
 	ErrBadOutcome = errors.New("sim: adversary returned malformed crash outcome")
+	// ErrBadOmission is returned when an omitter produces a malformed
+	// omission (send masks not matching the plan).
+	ErrBadOmission = errors.New("sim: adversary returned malformed omission")
 	// ErrHaltedWithoutDecision is returned when a process reports Halted
 	// without having decided, which no correct protocol may do.
 	ErrHaltedWithoutDecision = errors.New("sim: process halted without deciding")
@@ -38,13 +41,6 @@ type Config struct {
 	// is the engine's hot path: with Trace nil, rounds execute without any
 	// event or detail-string construction.
 	Trace *trace.Log
-	// Loss, if non-nil, makes channels unreliable: a transmitted message for
-	// which Loss returns true silently vanishes. The paper's model assumes
-	// reliable channels (Section 2.1) and argues it is NOT meant for lossy
-	// networks; this hook exists solely for the ablation experiment that
-	// demonstrates why — under loss the algorithm's agreement and
-	// termination guarantees collapse.
-	Loss func(m Message) bool
 }
 
 // Result summarizes a finished execution.
@@ -60,6 +56,11 @@ type Result struct {
 	DecideRound map[ProcID]Round
 	// Crashed maps each crashed process to the round it crashed in.
 	Crashed map[ProcID]Round
+	// Omissive maps each process that committed at least one omission fault
+	// to its number of omissive rounds (rounds in which the adversary
+	// returned a non-zero Omission for it). Omissive processes stay alive and
+	// may appear in Decisions.
+	Omissive map[ProcID]int
 	// Counters holds the communication cost of the run.
 	Counters metrics.Counters
 }
@@ -67,6 +68,10 @@ type Result struct {
 // Faults returns the number of crashes that occurred in the run (the paper's
 // f).
 func (r *Result) Faults() int { return len(r.Crashed) }
+
+// OmissionFaulty returns the number of processes that committed at least one
+// omission fault.
+func (r *Result) OmissionFaulty() int { return len(r.Omissive) }
 
 // MaxDecideRound returns the latest round at which some process decided, or 0
 // if nobody decided.
@@ -111,14 +116,17 @@ type Engine struct {
 	defaultHorizon bool // cfg.Horizon was 0 and derived from n
 	procs          []Process
 	adv            Adversary
+	omit           Omitter // adv's omission extension, nil when absent
 
 	alive      []bool
 	halted     []bool
 	decided    []bool
 	decVal     []Value
 	decRnd     []Round
-	crashRnd   []Round // 0 = never crashed (rounds are 1-based)
-	crashedNow []bool  // scratch: crashed during the current round
+	crashRnd   []Round  // 0 = never crashed (rounds are 1-based)
+	crashedNow []bool   // scratch: crashed during the current round
+	omitCnt    []int    // omissive rounds per process
+	recvOmit   [][]bool // scratch: receive-omission mask of the current round
 	inbox      [][]Message
 
 	aliveUnhalted int // alive processes that have not halted; allQuiet is ==0
@@ -166,6 +174,7 @@ func (e *Engine) Reset(procs []Process, adv Adversary) error {
 	}
 	e.procs = procs
 	e.adv = adv
+	e.omit, _ = adv.(Omitter)
 	if cap(e.alive) < n {
 		e.alive = make([]bool, n)
 		e.halted = make([]bool, n)
@@ -192,6 +201,19 @@ func (e *Engine) Reset(procs []Process, adv Adversary) error {
 		e.crashedNow = e.crashedNow[:n]
 		e.inbox = e.inbox[:n]
 	}
+	// The omission scratch exists only for omission-capable adversaries, so
+	// the crash-model hot path (and its allocation count) is untouched by
+	// the omission fault model.
+	if e.omit == nil {
+		e.omitCnt = e.omitCnt[:0]
+		e.recvOmit = e.recvOmit[:0]
+	} else if cap(e.omitCnt) < n {
+		e.omitCnt = make([]int, n)
+		e.recvOmit = make([][]bool, n)
+	} else {
+		e.omitCnt = e.omitCnt[:n]
+		e.recvOmit = e.recvOmit[:n]
+	}
 	for i := 0; i < n; i++ {
 		e.alive[i] = true
 		e.halted[i] = false
@@ -201,6 +223,10 @@ func (e *Engine) Reset(procs []Process, adv Adversary) error {
 		e.crashRnd[i] = 0
 		e.crashedNow[i] = false
 		e.inbox[i] = e.inbox[i][:0]
+	}
+	for i := range e.omitCnt {
+		e.omitCnt[i] = 0
+		e.recvOmit[i] = nil
 	}
 	e.aliveUnhalted = n
 	e.nDecided = 0
@@ -253,6 +279,12 @@ func (e *Engine) Run() (*Result, error) {
 		if e.crashRnd[i] != 0 {
 			res.Crashed[id] = e.crashRnd[i]
 		}
+		if i < len(e.omitCnt) && e.omitCnt[i] != 0 {
+			if res.Omissive == nil {
+				res.Omissive = make(map[ProcID]int)
+			}
+			res.Omissive[id] = e.omitCnt[i]
+		}
 	}
 	res.Counters.Rounds = int(r)
 	return res, runErr
@@ -269,6 +301,9 @@ func (e *Engine) round(r Round) error {
 	// received in round r, after every sender has executed its send phase.
 	for i := range e.crashedNow {
 		e.crashedNow[i] = false
+	}
+	for i := range e.recvOmit {
+		e.recvOmit[i] = nil
 	}
 	for _, p := range e.procs {
 		id := p.ID()
@@ -301,6 +336,21 @@ func (e *Engine) round(r Round) error {
 			e.emit(id, r, plan, outcome)
 			continue
 		}
+		if e.omit != nil {
+			if om := e.omit.Omits(id, r, plan); !om.IsZero() {
+				if !om.ValidFor(plan) {
+					return fmt.Errorf("%w (process p%d, round %d)", ErrBadOmission, id, r)
+				}
+				e.omitCnt[i]++
+				e.recvOmit[i] = om.Recv
+				if e.cfg.Trace.Enabled() {
+					e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindNote, From: int(id),
+						Detail: omissionString(om)})
+				}
+				e.emitOmitted(id, r, plan, om)
+				continue
+			}
+		}
 		e.emitAll(id, r, plan)
 	}
 
@@ -320,6 +370,9 @@ func (e *Engine) round(r Round) error {
 		}
 		in := e.inbox[i]
 		e.inbox[i] = in[:0] // recycle the buffer for the next round
+		if i < len(e.recvOmit) && e.recvOmit[i] != nil {
+			in = e.applyRecvOmission(in, e.recvOmit[i], r)
+		}
 		sortInbox(in)
 		p.Receive(r, in)
 		if v, ok := p.Decided(); ok {
@@ -372,6 +425,58 @@ func (e *Engine) emitAll(from ProcID, r Round, plan SendPlan) {
 	}
 }
 
+// emitOmitted queues a plan for delivery under a send-omission mask: unlike a
+// crash truncation, the sender stays alive, any subset of either step may
+// vanish, and the suppressed messages are accounted as omitted (they never
+// reached the channel) rather than dropped.
+func (e *Engine) emitOmitted(from ProcID, r Round, plan SendPlan, om Omission) {
+	for i, o := range plan.Data {
+		if om.Data != nil && !om.Data[i] {
+			e.ctr.OmittedData++
+			if e.cfg.Trace.Enabled() {
+				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDrop,
+					From: int(from), To: int(o.To), Detail: "data (send omission)"})
+			}
+			continue
+		}
+		m := Message{From: from, To: o.To, Round: r, Kind: Data, Payload: o.Payload}
+		e.ctr.AddData(m.Bits())
+		e.deliver(m)
+	}
+	for i, to := range plan.Control {
+		if om.Ctrl != nil && !om.Ctrl[i] {
+			e.ctr.OmittedCtrl++
+			if e.cfg.Trace.Enabled() {
+				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDrop,
+					From: int(from), To: int(to), Detail: "control (send omission)"})
+			}
+			continue
+		}
+		m := Message{From: from, To: to, Round: r, Kind: Control}
+		e.ctr.AddCtrl()
+		e.deliver(m)
+	}
+}
+
+// applyRecvOmission compacts an inbox in place to the messages that survive a
+// receive-omission mask, accounting the suppressed deliveries.
+func (e *Engine) applyRecvOmission(in []Message, mask []bool, r Round) []Message {
+	w := 0
+	for _, m := range in {
+		if i := int(m.From) - 1; i < len(mask) && !mask[i] {
+			e.ctr.OmittedRecv++
+			if e.cfg.Trace.Enabled() {
+				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDrop,
+					From: int(m.From), To: int(m.To), Detail: m.Kind.String() + " (receive omission)"})
+			}
+			continue
+		}
+		in[w] = m
+		w++
+	}
+	return in[:w]
+}
+
 // emit applies a (possibly truncating) crash outcome to a send plan, queueing
 // the surviving messages for delivery and accounting costs.
 func (e *Engine) emit(from ProcID, r Round, plan SendPlan, out CrashOutcome) {
@@ -404,24 +509,11 @@ func (e *Engine) emit(from ProcID, r Round, plan SendPlan, out CrashOutcome) {
 }
 
 // deliver queues a message for the destination's receive phase of the current
-// round. Messages to already-crashed processes vanish, as do messages the
-// lossy-channel hook (ablation only) decides to drop.
+// round. Messages to already-crashed processes vanish.
 func (e *Engine) deliver(m Message) {
 	if e.cfg.Trace.Enabled() {
 		e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindSend,
 			From: int(m.From), To: int(m.To), Detail: m.Kind.String()})
-	}
-	if e.cfg.Loss != nil && e.cfg.Loss(m) {
-		if e.cfg.Trace.Enabled() {
-			e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindDrop,
-				From: int(m.From), To: int(m.To), Detail: m.Kind.String() + " (channel loss)"})
-		}
-		if m.Kind == Control {
-			e.ctr.DroppedCtrl++
-		} else {
-			e.ctr.DroppedData++
-		}
-		return
 	}
 	i := int(m.To) - 1
 	if !e.alive[i] {
@@ -458,6 +550,28 @@ func msgAfter(a, b Message) bool {
 		return a.From > b.From
 	}
 	return a.Kind > b.Kind
+}
+
+// omissionString renders an omission event compactly for traces, listing the
+// delivered subsets of each affected class, e.g.
+// "omission (data {1}/2, recv {2,3}/3)".
+func omissionString(o Omission) string {
+	s := "omission ("
+	first := true
+	add := func(label string, mask []bool) {
+		if mask == nil {
+			return
+		}
+		if !first {
+			s += ", "
+		}
+		s += label + " " + subsetString(mask)
+		first = false
+	}
+	add("data", o.Data)
+	add("ctrl", o.Ctrl)
+	add("recv", o.Recv)
+	return s + ")"
 }
 
 // subsetString renders a delivered-subset mask compactly, e.g. "{1,3}/4".

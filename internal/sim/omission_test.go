@@ -1,0 +1,193 @@
+package sim_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// These tests cover the first-class omission fault model (sim.Omitter),
+// which replaced the old Config.Loss ablation hook: send- and
+// receive-omission faults applied by the engine itself, identically on both
+// engines. The paper's model explicitly assumes reliable channels, so the
+// CRW scenarios below demonstrate that assumption is load-bearing
+// (experiment E14/E15).
+
+func TestSendOmissionDropsWholePlan(t *testing.T) {
+	procs := echoSystem(3, false, 1)
+	adv := adversary.NewOmissionScript(3, map[sim.ProcID][]adversary.OmissionPlan{
+		1: {{Round: 1, DropAllSend: true}},
+	})
+	e := mustEngine(t, sim.Config{Model: sim.ModelClassic}, procs, adv)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// p1's value 1 never escaped: p2 and p3 decide min of {2,3}.
+	if v := res.Decisions[2]; v != 2 {
+		t.Errorf("p2 decided %d, want 2", int64(v))
+	}
+	if res.Counters.OmittedData != 2 {
+		t.Errorf("omitted data = %d, want 2 (both of p1's messages)", res.Counters.OmittedData)
+	}
+	if res.Counters.DroppedData != 0 {
+		t.Errorf("dropped data = %d, want 0 (omissions are not crash truncations)", res.Counters.DroppedData)
+	}
+	// p1 itself is alive, decides its own value, and is reported omissive:
+	// omission breaks agreement even in this toy protocol, with zero crashes.
+	if v := res.Decisions[1]; v != 1 {
+		t.Errorf("p1 decided %d, want 1", int64(v))
+	}
+	if res.Faults() != 0 {
+		t.Errorf("faults = %d, want 0", res.Faults())
+	}
+	if res.OmissionFaulty() != 1 || res.Omissive[1] != 1 {
+		t.Errorf("omissive = %v, want p1 with 1 omissive round", res.Omissive)
+	}
+}
+
+func TestSendOmissionBreaksCRWAgreementWithoutCrashes(t *testing.T) {
+	// The E14 counterexample in unit-test form: omit exactly the DATA from
+	// p1 to p2 while the pipelined COMMIT goes through. p2 commits its stale
+	// estimate; everyone else commits p1's. Zero crashes. (The round-1
+	// coordinator broadcasts data to p2..pn in order, so data position 0 is
+	// the p2 message.)
+	props := []sim.Value{10, 11, 12}
+	procs := core.NewSystem(props, core.Options{})
+	adv := adversary.NewOmissionScript(3, map[sim.ProcID][]adversary.OmissionPlan{
+		1: {{Round: 1, SendData: []bool{false}}},
+	})
+	eng, err := sim.NewEngine(sim.Config{Model: sim.ModelExtended, Horizon: 5}, procs, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Faults() != 0 {
+		t.Fatalf("faults = %d, want 0", res.Faults())
+	}
+	if got := res.DistinctDecisions(); len(got) != 2 {
+		t.Fatalf("distinct decisions = %v, want an agreement violation", got)
+	}
+	if res.Decisions[2] != 11 {
+		t.Errorf("p2 decided %d, want its stale proposal 11", int64(res.Decisions[2]))
+	}
+	if res.Decisions[3] != 10 {
+		t.Errorf("p3 decided %d, want p1's 10", int64(res.Decisions[3]))
+	}
+	if res.Counters.OmittedData != 1 {
+		t.Errorf("omitted data = %d, want 1", res.Counters.OmittedData)
+	}
+}
+
+func TestRecvOmissionSuppressesSelectedSenders(t *testing.T) {
+	// p2 is receive-omission faulty towards p1 in round 1: every round-1
+	// message from p1 (data and control alike) vanishes at p2's interface.
+	props := []sim.Value{10, 11, 12}
+	procs := core.NewSystem(props, core.Options{})
+	adv := adversary.NewOmissionScript(3, map[sim.ProcID][]adversary.OmissionPlan{
+		2: {{Round: 1, Recv: []bool{false, true, true}}},
+	})
+	eng, err := sim.NewEngine(sim.Config{Model: sim.ModelExtended, Horizon: 5}, procs, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil && !errors.Is(err, sim.ErrNoProgress) {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Counters.OmittedRecv == 0 {
+		t.Error("no deliveries were suppressed")
+	}
+	if res.Faults() != 0 {
+		t.Errorf("faults = %d, want 0", res.Faults())
+	}
+	if res.OmissionFaulty() != 1 || res.Omissive[2] != 1 {
+		t.Errorf("omissive = %v, want p2 with 1 omissive round", res.Omissive)
+	}
+	// p1 and p3 saw a failure-free round 1 and decide p1's estimate; p2
+	// missed the coordinator entirely and must not have decided 10 in
+	// round 1 with them.
+	if res.Decisions[1] != 10 || res.Decisions[3] != 10 {
+		t.Errorf("p1/p3 decided %v, want both 10", res.Decisions)
+	}
+	if r, ok := res.DecideRound[2]; ok && r == 1 {
+		t.Errorf("p2 decided in round 1 despite missing the coordinator")
+	}
+}
+
+func TestNoOmissionsIsReliable(t *testing.T) {
+	props := []sim.Value{10, 11, 12}
+	procs := core.NewSystem(props, core.Options{})
+	adv := adversary.NewOmissionScript(3, nil) // an omitter that never omits
+	eng, err := sim.NewEngine(sim.Config{Model: sim.ModelExtended}, procs, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DistinctDecisions()) != 1 {
+		t.Fatalf("reliable run disagreed: %v", res.Decisions)
+	}
+	c := res.Counters
+	if c.OmittedData != 0 || c.OmittedCtrl != 0 || c.OmittedRecv != 0 || c.DroppedData != 0 || c.DroppedCtrl != 0 {
+		t.Errorf("reliable run lost messages: %s", c.String())
+	}
+	if res.Omissive != nil {
+		t.Errorf("omissive = %v, want nil", res.Omissive)
+	}
+}
+
+// badOmitter returns a send-omission mask that does not match the plan.
+type badOmitter struct{ adversary.None }
+
+func (badOmitter) Omits(p sim.ProcID, r sim.Round, plan sim.SendPlan) sim.Omission {
+	if p != 1 || r != 1 {
+		return sim.Omission{}
+	}
+	return sim.Omission{Data: make([]bool, len(plan.Data)+3)}
+}
+
+func TestMalformedOmissionRejected(t *testing.T) {
+	procs := echoSystem(3, false, 1)
+	e := mustEngine(t, sim.Config{Model: sim.ModelClassic}, procs, badOmitter{})
+	if _, err := e.Run(); !errors.Is(err, sim.ErrBadOmission) {
+		t.Fatalf("err = %v, want ErrBadOmission", err)
+	}
+}
+
+// TestCrashSubsumesOmission pins the consultation contract: the omitter is
+// not consulted for a process in the round it crashes.
+func TestCrashSubsumesOmission(t *testing.T) {
+	procs := echoSystem(3, false, 1)
+	crash := adversary.NewScript(map[sim.ProcID]adversary.CrashPlan{1: {Round: 1}})
+	consulted := map[sim.ProcID]bool{}
+	adv := adversary.Combine(crash, omitFunc(func(p sim.ProcID, r sim.Round, plan sim.SendPlan) sim.Omission {
+		consulted[p] = true
+		return sim.Omission{}
+	}))
+	e := mustEngine(t, sim.Config{Model: sim.ModelClassic}, procs, adv)
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if consulted[1] {
+		t.Error("omitter consulted for the crashing process")
+	}
+	if !consulted[2] || !consulted[3] {
+		t.Error("omitter not consulted for surviving processes")
+	}
+}
+
+// omitFunc adapts a function to sim.Omitter.
+type omitFunc func(sim.ProcID, sim.Round, sim.SendPlan) sim.Omission
+
+func (f omitFunc) Omits(p sim.ProcID, r sim.Round, plan sim.SendPlan) sim.Omission {
+	return f(p, r, plan)
+}

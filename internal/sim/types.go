@@ -229,6 +229,68 @@ func (o CrashOutcome) ValidFor(plan SendPlan) bool {
 	return true
 }
 
+// Omission describes the omission faults of one process in one round. The
+// zero value means "no omission". Unlike a crash, an omission leaves the
+// process alive: it keeps executing the protocol, only its communication is
+// silently degraded — the send/receive-omission fault model that sits between
+// crash faults and fully lossy channels.
+//
+//   - Data[i] reports whether plan.Data[i] is transmitted (false = send
+//     omission of that message). A nil Data transmits every data message.
+//   - Ctrl[i] reports whether plan.Control[i] is transmitted. A nil Ctrl
+//     transmits the whole control sequence. Unlike a crash — which cuts the
+//     ordered control step at a prefix — a send omission may drop any subset:
+//     the process is alive and executes the full step, individual messages
+//     simply vanish in its faulty network interface.
+//   - Recv[i] reports whether messages from p_{i+1} reach the process this
+//     round (false = receive omission of that sender's messages). A nil Recv
+//     delivers everything; senders beyond the mask's length are delivered.
+type Omission struct {
+	Data []bool
+	Ctrl []bool
+	Recv []bool
+}
+
+// IsZero reports whether the omission is the no-fault value.
+func (o Omission) IsZero() bool { return o.Data == nil && o.Ctrl == nil && o.Recv == nil }
+
+// ValidFor reports whether the omission is well-formed for the plan: non-nil
+// send masks must match the plan exactly (the receive mask is positional over
+// process ids and may be any length).
+func (o Omission) ValidFor(plan SendPlan) bool {
+	if o.Data != nil && len(o.Data) != len(plan.Data) {
+		return false
+	}
+	if o.Ctrl != nil && len(o.Ctrl) != len(plan.Control) {
+		return false
+	}
+	return true
+}
+
+// DeliveredMask materializes a positional delivered-mask to length k with
+// missing positions delivered — the padding rule every omission spec layer
+// (scripted adversaries, fuzz-script replay) shares, load-bearing for
+// cross-layer replay fidelity.
+func DeliveredMask(mask []bool, k int) []bool {
+	out := make([]bool, k)
+	for i := range out {
+		out[i] = i >= len(mask) || mask[i]
+	}
+	return out
+}
+
+// Omitter is an optional extension of Adversary for send/receive-omission
+// faults. Engines consult it once per alive, unhalted process per round,
+// immediately after Crashes returned false (a crashing process's truncation
+// already subsumes any send omission, and it receives nothing anyway).
+//
+// Like Crashes, implementations used for cross-engine comparison must be pure
+// functions of (process, round, plan): the lockstep runtime consults the
+// omitter in goroutine scheduling order.
+type Omitter interface {
+	Omits(p ProcID, r Round, plan SendPlan) Omission
+}
+
 // Adversary controls every nondeterministic choice of the model.
 type Adversary interface {
 	// Crashes is consulted once per alive process per round, after the

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# bench_compare.sh — the CI perf regression gate: run a fresh (short) pass of
+# the E-series benchmarks and diff it against the committed BENCH_<date>.json
+# baseline produced by scripts/bench.sh.
+#
+#   - allocs/op regressions FAIL the gate: allocation counts are
+#     machine-independent, so they gate reliably even on noisy CI runners.
+#     Benchmarks in the zero-alloc set must match the baseline exactly (any
+#     increase fails); the rest get ALLOC_THRESHOLD percent (+1 absolute)
+#     slack. Worker-pool and randomized-average benchmarks are excluded from
+#     the alloc gate (their counts depend on GOMAXPROCS / iteration count).
+#   - ns/op regressions WARN by default (wall-clock is machine-dependent;
+#     the committed baseline usually comes from a different box). Set
+#     STRICT_TIME=1 to fail on them instead — useful when comparing two runs
+#     on the same machine.
+#
+# Usage:
+#   scripts/bench_compare.sh                    # newest BENCH_*.json baseline
+#   scripts/bench_compare.sh BENCH_2026-07-28.json
+#   BENCHTIME=1s TIME_THRESHOLD=15 scripts/bench_compare.sh
+#   STRICT_TIME=1 scripts/bench_compare.sh      # same-machine comparison
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-}"
+if [ -z "$baseline" ]; then
+    baseline="$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)"
+fi
+if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
+    echo "bench_compare.sh: no baseline BENCH_*.json found (run scripts/bench.sh and commit the snapshot)" >&2
+    exit 1
+fi
+
+benchtime="${BENCHTIME:-0.3s}"
+time_threshold="${TIME_THRESHOLD:-25}"    # percent ns/op growth before warning
+alloc_threshold="${ALLOC_THRESHOLD:-10}"  # percent allocs/op growth before failing
+strict_time="${STRICT_TIME:-0}"
+pattern="${PATTERN:-^(BenchmarkE[0-9]+|BenchmarkExploreParallel|BenchmarkSweep|BenchmarkFuzz|BenchmarkDeterministicEngine|BenchmarkLockstepEngine)}"
+
+# Benchmarks whose allocs/op must match the baseline exactly: the
+# single-threaded deterministic hot paths the zero-alloc work of PR 1 pinned.
+zero_alloc_re='^Benchmark(E1FailureFree|E1RoundsVsFaults|E5Exhaustive|DeterministicEngine)$'
+# Benchmarks excluded from the alloc gate: worker pools scale with
+# GOMAXPROCS, randomized averages scale with the iteration count.
+skip_alloc_re='(ExploreParallel|/parallel$|E11AverageCase|E11Omission|E14LossyChannels)'
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+echo "== fresh benchmark pass (benchtime $benchtime) vs baseline $baseline"
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$fresh"
+
+if ! grep -q '^Benchmark' "$fresh"; then
+    echo "bench_compare.sh: pattern '$pattern' matched no benchmarks" >&2
+    exit 1
+fi
+
+echo
+awk -v time_thr="$time_threshold" -v alloc_thr="$alloc_threshold" \
+    -v strict_time="$strict_time" \
+    -v zero_re="$zero_alloc_re" -v skip_re="$skip_alloc_re" '
+FNR == NR {
+    # Baseline JSON: one benchmark record per line (the bench.sh format).
+    if ($0 !~ /"name":/) next
+    name = ""; ns = ""; al = ""
+    if (match($0, /"name": "[^"]+"/))
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+    if (match($0, /"ns\/op": [0-9.eE+]+/)) {
+        f = substr($0, RSTART, RLENGTH); sub(/^"ns\/op": /, "", f); ns = f
+    }
+    if (match($0, /"allocs\/op": [0-9.eE+]+/)) {
+        f = substr($0, RSTART, RLENGTH); sub(/^"allocs\/op": /, "", f); al = f
+    }
+    if (name != "") { base_ns[name] = ns; base_al[name] = al }
+    next
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns = ""; al = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "allocs/op") al = $(i - 1)
+    }
+    seen[name] = 1
+    if (!(name in base_ns)) {
+        printf "NEW    %-42s %10s ns/op %8s allocs/op (no baseline entry — run scripts/bench.sh to refresh)\n", name, ns, al
+        next
+    }
+    bns = base_ns[name] + 0; bal = base_al[name] + 0
+    nns = ns + 0; nal = al + 0
+
+    averdict = "ok"
+    if (name ~ skip_re) {
+        averdict = "skipped"
+    } else if (name ~ zero_re) {
+        if (nal > bal) { averdict = "FAIL (exact-match set)"; alloc_fail++ }
+        else if (nal < bal) averdict = "improved"
+    } else if (nal > bal * (1 + alloc_thr / 100) + 1) {
+        averdict = sprintf("FAIL (>%d%%+1)", alloc_thr); alloc_fail++
+    } else if (nal < bal) {
+        averdict = "improved"
+    }
+
+    tverdict = "ok"
+    if (bns > 0 && nns > bns * (1 + time_thr / 100)) {
+        if (strict_time == "1") { tverdict = sprintf("FAIL (>%d%%)", time_thr); time_fail++ }
+        else { tverdict = sprintf("WARN (>%d%%)", time_thr); time_warn++ }
+    } else if (nns < bns) {
+        tverdict = "improved"
+    }
+
+    printf "%-46s ns/op %10d -> %10d  %-14s allocs/op %7d -> %7d  %s\n",
+        name, bns, nns, tverdict, bal, nal, averdict
+}
+END {
+    for (name in base_ns)
+        if (!(name in seen))
+            printf "GONE   %-42s (in baseline, not in fresh run)\n", name
+    printf "\n"
+    if (time_warn > 0)
+        printf "bench_compare: %d time regression(s) beyond %d%% — WARNING only (cross-machine ns/op is advisory; STRICT_TIME=1 to gate)\n", time_warn, time_thr
+    if (alloc_fail > 0 || time_fail > 0) {
+        printf "bench_compare: FAIL — %d alloc regression(s), %d strict time regression(s)\n", alloc_fail, time_fail
+        exit 1
+    }
+    print "bench_compare: OK — no alloc regressions against " ARGV[1]
+}
+' "$baseline" "$fresh"
