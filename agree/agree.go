@@ -59,6 +59,12 @@ const (
 	// EngineLockstep runs one goroutine per process with channel-based
 	// message delivery and barrier-synchronized rounds.
 	EngineLockstep EngineKind = "lockstep"
+	// EngineTimed is the continuous-time discrete-event engine: every
+	// message is a timed event priced by a latency model (Config.Latency),
+	// round boundaries emerge from timers, and the report carries the
+	// measured completion time (Report.SimTime). Latencies beyond the
+	// synchrony bound become receive omissions — timing faults.
+	EngineTimed EngineKind = "timed"
 )
 
 // FaultSpec describes the fault scenario of a run: crash faults, omission
@@ -386,6 +392,10 @@ type Config struct {
 	Bits int
 	// Faults is the crash scenario (default NoFaults).
 	Faults FaultSpec
+	// Latency configures the latency model of a continuous-time run; it
+	// requires an engine with the timed capability (EngineTimed). The zero
+	// value selects the engine's default within-bound model.
+	Latency LatencySpec
 	// SimulateOnClassic runs the extended-model protocol through the
 	// Section 2.2 simulation on top of the classic model (CRW only).
 	SimulateOnClassic bool
@@ -416,6 +426,11 @@ type Report struct {
 	Omissive map[int]int
 	// Counters holds communication costs.
 	Counters metrics.Counters
+	// SimTime is the measured completion time of the run in the latency
+	// model's time units; zero on round-abstraction engines. Cross-engine
+	// comparison excludes it: it prices the execution, it does not change
+	// it.
+	SimTime float64
 	// ConsensusErr is nil when the run satisfies uniform consensus
 	// (validity, uniform agreement, termination).
 	ConsensusErr error
@@ -476,6 +491,9 @@ func normalize(cfg Config) (Config, []sim.Value, error) {
 		cfg.Trace = true
 	}
 	if err := cfg.Faults.validate(cfg.N); err != nil {
+		return cfg, nil, err
+	}
+	if err := cfg.Latency.validate(); err != nil {
 		return cfg, nil, err
 	}
 	proposals := make([]sim.Value, cfg.N)

@@ -29,6 +29,19 @@ type FuzzConfig struct {
 	T int
 	// Protocol selects the algorithm (default ProtocolCRW).
 	Protocol Protocol
+	// Engine selects the engine the campaign's random walks execute on
+	// (default EngineDeterministic). The engine must advertise the
+	// deterministic capability: findings are replay-verified against the
+	// recorded script, which requires reproducible executions. With
+	// EngineTimed the campaign runs on continuous time — combine with
+	// Latency to fuzz under timing faults.
+	Engine EngineKind
+	// Latency configures the latency model of a timed campaign (requires an
+	// engine with the timed capability). An out-of-bound spec makes late
+	// messages part of every walk; such campaigns are judged on the
+	// consensus properties alone and skip cross-engine checking (the round
+	// engines cannot reproduce timing faults).
+	Latency LatencySpec
 	// Seeds is the number of seeds to fuzz (default 64); seed i is Seed+i.
 	Seeds int
 	// Seed is the base seed (default 1).
@@ -68,7 +81,9 @@ type FuzzConfig struct {
 	Workers int
 	// CrossCheck replays every finding's script (the shrunk script when
 	// shrinking ran) on each other registered engine and diffs the semantic
-	// outcome against the deterministic engine's.
+	// outcome against the deterministic engine's. Campaigns under an
+	// out-of-bound latency model skip it: their findings depend on timing
+	// faults the round engines cannot reproduce.
 	CrossCheck bool
 }
 
@@ -138,6 +153,22 @@ func normalizeFuzz(cfg FuzzConfig) (FuzzConfig, error) {
 	}
 	if cfg.Protocol != ProtocolCRW && (cfg.OrderAscending || cfg.CommitAsData) {
 		return cfg, errors.New("agree: the ablations apply to the CRW protocol only")
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = EngineDeterministic
+	}
+	caps, ok := harness.Lookup(harness.Kind(cfg.Engine))
+	if !ok {
+		return cfg, fmt.Errorf("agree: unknown engine %q", cfg.Engine)
+	}
+	if !caps.Deterministic {
+		return cfg, fmt.Errorf("agree: engine %q is not deterministic; fuzz campaigns require reproducible replay", cfg.Engine)
+	}
+	if err := cfg.Latency.validate(); err != nil {
+		return cfg, err
+	}
+	if !cfg.Latency.IsZero() && !caps.Timed {
+		return cfg, fmt.Errorf("agree: FuzzConfig.Latency is not supported by engine %q (engine lacks the timed capability)", cfg.Engine)
 	}
 	if cfg.T <= 0 || cfg.T >= cfg.N {
 		cfg.T = cfg.N - 1
@@ -214,13 +245,30 @@ func fuzzFactory(cfg FuzzConfig) fuzz.Factory {
 	}
 }
 
+// withLatency attaches a campaign's latency model to every target the
+// factory produces (timed campaigns only; the model is nil otherwise and
+// the field stays zero).
+func withLatency(factory fuzz.Factory, spec LatencySpec) fuzz.Factory {
+	lm := spec.model(0)
+	if lm == nil {
+		return factory
+	}
+	return func() fuzz.Target {
+		tgt := factory()
+		tgt.Latency = lm
+		return tgt
+	}
+}
+
 // fuzzOracle returns the consensus oracle with the protocol's round bound.
 // Omission campaigns check consensus only: the round bounds are crash-model
 // theorems (their f counts crashes), and under omission faults the paper's
 // reliable-channel assumption predicts consensus itself breaks — which is
-// exactly what the oracle should report, not a bound artifact.
+// exactly what the oracle should report, not a bound artifact. Timing-fault
+// campaigns (an out-of-bound latency model) degrade into receive omissions
+// and are judged the same way.
 func fuzzOracle(cfg FuzzConfig) fuzz.Oracle {
-	if cfg.SendOmitProb > 0 || cfg.RecvOmitProb > 0 {
+	if cfg.SendOmitProb > 0 || cfg.RecvOmitProb > 0 || !cfg.Latency.withinBound() {
 		return fuzz.ConsensusOracle(nil)
 	}
 	switch cfg.Protocol {
@@ -260,16 +308,17 @@ func Fuzz(cfg FuzzConfig) (*FuzzReport, error) {
 		MaxShrinkRuns: cfg.MaxShrinkRuns,
 	}
 
+	factory = withLatency(factory, cfg.Latency)
 	outcomes := make([]fuzzOutcome, cfg.Seeds)
 	harness.ForEach(cfg.Seeds, cfg.Workers, func(cache *harness.Cache, i int) {
 		slot := &outcomes[i]
-		eng, err := cache.Get(harness.KindDeterministic)
+		eng, err := cache.Get(harness.Kind(cfg.Engine))
 		if err != nil {
 			slot.fatal = err
 			return
 		}
 		slot.out, slot.fatal = fuzz.RunSeed(eng, factory, oracle, cfg.Seed+int64(i), opts)
-		if slot.fatal != nil || slot.out.Err == nil || !cfg.CrossCheck {
+		if slot.fatal != nil || slot.out.Err == nil || !cfg.CrossCheck || !cfg.Latency.withinBound() {
 			return
 		}
 		script := slot.out.Script
@@ -339,9 +388,11 @@ type FuzzReplayReport struct {
 }
 
 // FuzzReplayScript re-executes one crash script under a campaign
-// configuration — the same protocol construction, horizon and oracle the
-// campaign itself used, so a finding's "reproduce with -replay" contract
-// cannot drift from the code that produced it. The script is validated
+// configuration — the same protocol construction, horizon, engine, latency
+// model and oracle the campaign itself used, so a finding's "reproduce with
+// -replay" contract cannot drift from the code that produced it (a
+// timing-fault finding from a timed campaign only reproduces on the timed
+// engine under the campaign's latency model). The script is validated
 // against the system size exactly like ReplayFaults specs are at Run time.
 func FuzzReplayScript(cfg FuzzConfig, script string, withTrace bool) (*FuzzReplayReport, error) {
 	cfg, err := normalizeFuzz(cfg)
@@ -359,13 +410,14 @@ func FuzzReplayScript(cfg FuzzConfig, script string, withTrace bool) (*FuzzRepla
 	if withTrace {
 		log = trace.New()
 	}
-	tgt := fuzzFactory(cfg)()
-	eng, err := harness.NewCache().Get(harness.KindDeterministic)
+	tgt := withLatency(fuzzFactory(cfg), cfg.Latency)()
+	eng, err := harness.NewCache().Get(harness.Kind(cfg.Engine))
 	if err != nil {
 		return nil, err
 	}
 	res, runErr := eng.Run(harness.Job{
-		Model: tgt.Model, Horizon: tgt.Horizon, Procs: tgt.Procs, Adv: s.Adversary(), Trace: log,
+		Model: tgt.Model, Horizon: tgt.Horizon, Procs: tgt.Procs, Adv: s.Adversary(),
+		Trace: log, Latency: tgt.Latency,
 	})
 	if res == nil {
 		return nil, runErr

@@ -131,6 +131,10 @@ func runConfig(cfg Config, cache *harness.Cache) (*Report, error) {
 		return nil, fmt.Errorf("agree: Config.%s is not supported by engine %q (engine lacks the trace capability)",
 			feature, cfg.Engine)
 	}
+	if !cfg.Latency.IsZero() && !caps.Timed {
+		return nil, fmt.Errorf("agree: Config.Latency is not supported by engine %q (engine lacks the timed capability)",
+			cfg.Engine)
+	}
 	procs, model, horizon, err := buildProtocol(cfg, proposals)
 	if err != nil {
 		return nil, err
@@ -149,6 +153,7 @@ func runConfig(cfg Config, cache *harness.Cache) (*Report, error) {
 		Procs:   procs,
 		Adv:     cfg.Faults.build(cfg.N),
 		Trace:   log,
+		Latency: cfg.Latency.model(cfg.Bits),
 	})
 	if err != nil {
 		return nil, err
@@ -161,6 +166,7 @@ func runConfig(cfg Config, cache *harness.Cache) (*Report, error) {
 		DecideRound:  make(map[int]int, len(res.DecideRound)),
 		Crashed:      make(map[int]int, len(res.Crashed)),
 		Counters:     res.Counters,
+		SimTime:      res.SimTime,
 		ConsensusErr: check.Consensus(proposals, res),
 	}
 	if cfg.SimulateOnClassic {
@@ -202,6 +208,12 @@ func crossCheck(cfg Config, primary *Report, cache *harness.Cache) ([]EngineKind
 	if !cfg.Faults.orderInsensitive() {
 		return nil, nil
 	}
+	if !cfg.Latency.withinBound() {
+		// An out-of-bound latency model injects timing faults — semantics
+		// only continuous-time engines realize; comparing against the round
+		// abstraction proves nothing.
+		return nil, nil
+	}
 	primaryKind := cfg.Engine
 	if primaryKind == "" {
 		primaryKind = EngineDeterministic
@@ -214,6 +226,12 @@ func crossCheck(cfg Config, primary *Report, cache *harness.Cache) ([]EngineKind
 		ref := cfg
 		ref.Engine = EngineKind(kind)
 		ref.Trace, ref.Diagram = false, false
+		if caps, _ := harness.Lookup(kind); !caps.Timed {
+			// A within-bound latency spec is semantically neutral — it only
+			// prices the execution — so the round engines run the same
+			// configuration without it.
+			ref.Latency = LatencySpec{}
+		}
 		refRep, err := runConfig(ref, cache)
 		if err != nil {
 			return checked, fmt.Errorf("agree: crosscheck on engine %q: %w", kind, err)
@@ -230,7 +248,8 @@ func crossCheck(cfg Config, primary *Report, cache *harness.Cache) ([]EngineKind
 // diffReports compares the semantic fields of two reports of the same
 // configuration and returns a description of the first difference, or "".
 // Transcript and Diagram are presentation artifacts of trace-capable
-// engines and are deliberately excluded.
+// engines, and SimTime is the continuous-time engines' price tag on the
+// same semantic execution; all three are deliberately excluded.
 func diffReports(a, b *Report) string {
 	if a.Rounds != b.Rounds {
 		return fmt.Sprintf("rounds %d vs %d", a.Rounds, b.Rounds)

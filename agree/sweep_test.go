@@ -182,12 +182,14 @@ func TestSweepCrossCheck(t *testing.T) {
 		}
 	}
 	for i := 0; i < 3; i++ {
-		if len(sr.Items[i].CrossChecked) != 1 || sr.Items[i].CrossChecked[0] != agree.EngineLockstep {
-			t.Errorf("config %d: cross-checked on %v, want [lockstep]", i, sr.Items[i].CrossChecked)
+		xc := sr.Items[i].CrossChecked
+		if len(xc) != 2 || xc[0] != agree.EngineLockstep || xc[1] != agree.EngineTimed {
+			t.Errorf("config %d: cross-checked on %v, want [lockstep timed]", i, xc)
 		}
 	}
-	if len(sr.Items[3].CrossChecked) != 1 || sr.Items[3].CrossChecked[0] != agree.EngineDeterministic {
-		t.Errorf("lockstep config: cross-checked on %v, want [deterministic]", sr.Items[3].CrossChecked)
+	xc := sr.Items[3].CrossChecked
+	if len(xc) != 2 || xc[0] != agree.EngineDeterministic || xc[1] != agree.EngineTimed {
+		t.Errorf("lockstep config: cross-checked on %v, want [deterministic timed]", xc)
 	}
 	if len(sr.Items[4].CrossChecked) != 0 {
 		t.Errorf("random config: cross-checked on %v, want none (order-sensitive)", sr.Items[4].CrossChecked)

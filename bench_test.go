@@ -87,6 +87,23 @@ func BenchmarkE3Crossover(b *testing.B) {
 	}
 }
 
+// BenchmarkE3Timed times the empirical crossover workload behind the
+// rewritten E3: the same 2 protocols × 5 fault counts, executed on the
+// continuous-time engine under gigabit-Ethernet latencies (every message a
+// timed event; completion times measured on the event clock, not priced
+// analytically).
+func BenchmarkE3Timed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for f := 0; f < 5; f++ {
+			run(b, agree.Config{N: 10, Engine: agree.EngineTimed,
+				Latency: agree.ProfileLatency("1g"), Faults: agree.CoordinatorCrashes(f)})
+			run(b, agree.Config{N: 10, T: 8, Protocol: agree.ProtocolEarlyStop,
+				Engine: agree.EngineTimed, Latency: agree.ProfileLatency("1g"),
+				Faults: agree.CoordinatorCrashes(f)})
+		}
+	}
+}
+
 // BenchmarkE4EarlyStop times the classic early-stopping baseline at n=32,
 // f=2 (decides in 4 rounds, Θ(n²) messages per round).
 func BenchmarkE4EarlyStop(b *testing.B) {
@@ -471,6 +488,18 @@ func BenchmarkLockstepEngine(b *testing.B) {
 func BenchmarkDeterministicEngine(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		run(b, agree.Config{N: 32, Faults: agree.CoordinatorCrashes(4)})
+	}
+}
+
+// BenchmarkTimedEngine is the continuous-time twin of
+// BenchmarkLockstepEngine / BenchmarkDeterministicEngine (n=32, f=4): the
+// cost of scheduling every message as a discrete event with seeded
+// within-bound jitter.
+func BenchmarkTimedEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run(b, agree.Config{N: 32, Engine: agree.EngineTimed,
+			Latency: agree.JitterLatency(7, 1, 0.1, 0.1, 0.85),
+			Faults:  agree.CoordinatorCrashes(4)})
 	}
 }
 

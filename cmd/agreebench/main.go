@@ -1,11 +1,11 @@
-// Command agreebench regenerates the experiment tables E1–E15, which map
+// Command agreebench regenerates the experiment tables E1–E16, which map
 // one-to-one onto the quantitative claims of the paper (see DESIGN.md for
 // the experiment index and EXPERIMENTS.md for paper-vs-measured records).
 //
 // Usage:
 //
 //	agreebench                 # run every experiment
-//	agreebench -e E3           # run one experiment
+//	agreebench -e E3           # run one experiment (E3/E16 execute on the timed engine)
 //	agreebench -list           # list experiment ids and titles
 //	agreebench -workers 8      # fan batched experiments across 8 sweep workers
 //	agreebench -crosscheck     # additionally validate every batched run on
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("e", "", "experiment id to run (E1..E15); empty runs all")
+	exp := flag.String("e", "", "experiment id to run (E1..E16); empty runs all")
 	list := flag.Bool("list", false, "list experiments and exit")
 	workers := flag.Int("workers", 1, "sweep worker-pool size for batched experiments (0 = GOMAXPROCS)")
 	crosscheck := flag.Bool("crosscheck", false, "cross-validate batched runs on every other registered engine")

@@ -13,6 +13,11 @@
 //	                                                    # paper's reliable-channel assumption predicts
 //	agreefuzz -n 4 -t 2 -commit-as-data -replay 'p1@r1:100/0'  # replay a script with a full trace
 //	agreefuzz -n 3 -replay 'p1@r1:so:01/11'             # replay an omission script
+//	agreefuzz -n 12 -engine timed -seeds 5000 -crosscheck      # campaign on continuous time,
+//	                                                    # findings replayed on every engine
+//	agreefuzz -n 8 -engine timed -lat-d 1 -lat-floor 0.5 -lat-spread 2 -expect-findings
+//	                                                    # timing-fault campaign: late messages
+//	                                                    # (receive omissions) break agreement
 package main
 
 import (
@@ -50,11 +55,25 @@ func run() int {
 		omitOnly     = flag.Bool("omission-only", false, "disable crash injection (pure omission campaign)")
 		expectFind   = flag.Bool("expect-findings", false, "invert the verdict: the campaign passes when it finds (and cleanly replays) at least one violation — for ablations where the paper predicts the break")
 		findingsOut  = flag.String("findings-out", "", "write the findings' replay scripts to this file, one per line")
+		engine       = flag.String("engine", "deterministic", "engine the campaign runs on (must be deterministic; timed enables -lat-* knobs)")
+
+		latProfile = flag.String("lat-profile", "", "timed engine: LAN latency profile (100m, 1g, 10g)")
+		latD       = flag.Float64("lat-d", 0, "timed engine: synchrony bound D (fixed/jitter latency model)")
+		latDelta   = flag.Float64("lat-delta", 0, "timed engine: control-step extension δ")
+		latFloor   = flag.Float64("lat-floor", 0, "timed engine: jitter latency floor")
+		latSpread  = flag.Float64("lat-spread", 0, "timed engine: jitter width; floor+spread > D makes timing faults part of every walk")
+		latSeed    = flag.Int64("lat-seed", 1, "timed engine: jitter seed (pure per-message hash)")
 	)
 	flag.Parse()
 
+	latency, err := agree.LatencyFromFlags(*latProfile, *latD, *latDelta, *latFloor, *latSpread, *latSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agreefuzz:", err)
+		return 1
+	}
 	cfg := agree.FuzzConfig{
 		N: *n, T: *tt, Protocol: agree.Protocol(*protocol),
+		Engine: agree.EngineKind(*engine), Latency: latency,
 		Seeds: *seeds, Seed: *seed0, CrashProb: *crashProb,
 		SendOmitProb: *sendOmit, RecvOmitProb: *recvOmit,
 		MaxOmissive: *maxOmissive, OmissionOnly: *omitOnly,
@@ -80,8 +99,8 @@ func run() int {
 		return 1
 	}
 
-	fmt.Printf("fuzzed        %d seeds (n=%d, t=%d, protocol=%s, crashprob=%g, order=%s, commit-as-data=%t)\n",
-		rep.Seeds, *n, effectiveT(cfg), *protocol, *crashProb, *order, *commitAsData)
+	fmt.Printf("fuzzed        %d seeds (n=%d, t=%d, protocol=%s, engine=%s, crashprob=%g, order=%s, commit-as-data=%t)\n",
+		rep.Seeds, *n, effectiveT(cfg), *protocol, *engine, *crashProb, *order, *commitAsData)
 	if *sendOmit > 0 || *recvOmit > 0 {
 		eff := *maxOmissive
 		if eff <= 0 {

@@ -11,6 +11,11 @@
 //	agreerun -n 6 -engine lockstep          # goroutine runtime
 //	agreerun -n 6 -f 2 -crosscheck          # validate the run on every engine
 //	agreerun -n 8 -fsweep 7 -workers 4      # sweep f=0..7 across 4 workers
+//	agreerun -list-engines                  # discover engines + capabilities
+//	agreerun -n 6 -engine timed -f 2 -lat-profile 1g     # gigabit LAN latencies
+//	agreerun -n 6 -engine timed -lat-d 1 -lat-delta 0.2  # fixed worst-case D/δ
+//	agreerun -n 8 -engine timed -lat-d 1 -lat-delta 0.1 -lat-floor 0.5 -lat-spread 2 \
+//	         -lat-seed 7                    # jitter past the bound: timing faults
 package main
 
 import (
@@ -26,7 +31,8 @@ func main() {
 		n        = flag.Int("n", 5, "number of processes")
 		tt       = flag.Int("t", 0, "resilience bound for classic baselines (default n-1)")
 		protocol = flag.String("protocol", "crw", "protocol: crw, earlystop, floodset")
-		engine   = flag.String("engine", "deterministic", "engine: deterministic, lockstep")
+		engine   = flag.String("engine", "deterministic", "engine kind (see -list-engines)")
+		listEng  = flag.Bool("list-engines", false, "list registered engines with their capabilities and exit")
 		f        = flag.Int("f", 0, "crash the coordinators of the first f rounds")
 		deliver  = flag.Bool("deliver", false, "dying coordinators complete their data step")
 		prefix   = flag.Int("prefix", 0, "control prefix delivered by dying coordinators (-1 = all)")
@@ -40,15 +46,36 @@ func main() {
 		crosschk = flag.Bool("crosscheck", false, "re-run on every other registered engine and diff the outcomes")
 		workers  = flag.Int("workers", 1, "worker-pool size for -fsweep (0 = GOMAXPROCS)")
 		fsweep   = flag.Int("fsweep", -1, "sweep coordinator crashes f=0..fsweep and print one row per f (ignores the single-run fault flags)")
+
+		latProfile = flag.String("lat-profile", "", "timed engine: LAN latency profile (100m, 1g, 10g)")
+		latD       = flag.Float64("lat-d", 0, "timed engine: synchrony bound D (fixed/jitter latency model)")
+		latDelta   = flag.Float64("lat-delta", 0, "timed engine: control-step extension δ")
+		latFloor   = flag.Float64("lat-floor", 0, "timed engine: jitter latency floor")
+		latSpread  = flag.Float64("lat-spread", 0, "timed engine: jitter width (latency = floor + U[0, spread)); floor+spread > D injects timing faults")
+		latSeed    = flag.Int64("lat-seed", 1, "timed engine: jitter seed (pure per-message hash)")
 	)
 	flag.Parse()
+
+	if *listEng {
+		fmt.Printf("%-15s %-6s %-14s %-9s %-6s\n", "engine", "trace", "deterministic", "reusable", "timed")
+		for _, e := range agree.Engines() {
+			fmt.Printf("%-15s %-6v %-14v %-9v %-6v\n", e.Kind, e.Trace, e.Deterministic, e.Reusable, e.Timed)
+		}
+		return
+	}
+
+	latency, err := agree.LatencyFromFlags(*latProfile, *latD, *latDelta, *latFloor, *latSpread, *latSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agreerun:", err)
+		os.Exit(1)
+	}
 
 	if *fsweep >= 0 {
 		if *random || *f > 0 || *deliver || *diag {
 			fmt.Fprintln(os.Stderr, "agreerun: -fsweep always sweeps silent coordinator crashes; it cannot be combined with -random/-f/-deliver/-diagram")
 			os.Exit(1)
 		}
-		runSweep(*n, *tt, *protocol, *engine, *bits, *fsweep, *workers, *crosschk, *simulate)
+		runSweep(*n, *tt, *protocol, *engine, *bits, *fsweep, *workers, *crosschk, *simulate, latency)
 		return
 	}
 
@@ -62,6 +89,7 @@ func main() {
 		faults = agree.CoordinatorCrashes(*f)
 	}
 
+	canTrace := engineHasTrace(agree.EngineKind(*engine))
 	cfg := agree.Config{
 		N:                 *n,
 		T:                 *tt,
@@ -69,9 +97,10 @@ func main() {
 		Engine:            agree.EngineKind(*engine),
 		Bits:              *bits,
 		Faults:            faults,
+		Latency:           latency,
 		SimulateOnClassic: *simulate,
-		Trace:             !*quiet && agree.EngineKind(*engine) == agree.EngineDeterministic,
-		Diagram:           *diag && agree.EngineKind(*engine) == agree.EngineDeterministic,
+		Trace:             !*quiet && canTrace,
+		Diagram:           *diag && canTrace,
 	}
 	item := agree.Sweep([]agree.Config{cfg}, agree.SweepOptions{Workers: 1, CrossCheck: *crosschk}).Items[0]
 	if item.Err != nil {
@@ -93,6 +122,9 @@ func main() {
 	fmt.Printf("rounds      %d (last decision at round %d)\n", rep.MacroRounds, rep.MaxDecideRound())
 	fmt.Printf("decisions   %v\n", rep.Decisions)
 	fmt.Printf("traffic     %s\n", rep.Counters.String())
+	if rep.SimTime > 0 {
+		fmt.Printf("simtime     %g (measured on the event clock)\n", rep.SimTime)
+	}
 	if len(item.CrossChecked) > 0 {
 		fmt.Printf("crosscheck  consistent on %v\n", item.CrossChecked)
 	} else if *crosschk {
@@ -105,9 +137,23 @@ func main() {
 	fmt.Println("VERDICT     uniform consensus holds")
 }
 
+// engineHasTrace consults the live registry (the same source -list-engines
+// prints) for the trace capability, so the default transcript degrades
+// gracefully for ANY registered engine without it — not just the ones this
+// binary happens to know by name. Unknown kinds report false; the run then
+// fails with the registry's own "unknown engine" error.
+func engineHasTrace(kind agree.EngineKind) bool {
+	for _, e := range agree.Engines() {
+		if e.Kind == kind {
+			return e.Trace
+		}
+	}
+	return false
+}
+
 // runSweep executes the -fsweep mode: coordinator-killer scenarios f=0..max
 // as one parallel sweep, one table row per fault count.
-func runSweep(n, tt int, protocol, engine string, bits, max, workers int, crosscheck, simulate bool) {
+func runSweep(n, tt int, protocol, engine string, bits, max, workers int, crosscheck, simulate bool, latency agree.LatencySpec) {
 	configs := make([]agree.Config, 0, max+1)
 	for f := 0; f <= max; f++ {
 		configs = append(configs, agree.Config{
@@ -117,6 +163,7 @@ func runSweep(n, tt int, protocol, engine string, bits, max, workers int, crossc
 			Engine:            agree.EngineKind(engine),
 			Bits:              bits,
 			Faults:            agree.CoordinatorCrashes(f),
+			Latency:           latency,
 			SimulateOnClassic: simulate,
 		})
 	}

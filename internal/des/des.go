@@ -1,10 +1,13 @@
 // Package des is a minimal deterministic discrete-event simulator used by
 // the continuous-time substrates of this repository (the fast failure
-// detector model of experiment E7).
+// detector model of experiment E7 and the timed consensus engine of
+// internal/timed).
 //
 // Events are callbacks scheduled at absolute times and executed in
 // nondecreasing time order; ties are broken by scheduling order (FIFO), which
-// keeps runs fully deterministic.
+// keeps runs fully deterministic. Scheduling returns a Handle that can cancel
+// the event before it fires (timers that are superseded), implemented by lazy
+// deletion so cancellation is O(1).
 package des
 
 import (
@@ -49,31 +52,56 @@ func (h *eventHeap) Pop() any {
 
 // Sim is a discrete-event simulation. The zero value is ready to use.
 type Sim struct {
-	queue   eventHeap
-	now     Time
-	seq     uint64
-	stopped bool
-	steps   int
+	queue     eventHeap
+	now       Time
+	seq       uint64
+	stopped   bool
+	steps     int
+	cancelled int // cancelled events still sitting in the heap
+}
+
+// Handle refers to a scheduled event and can cancel it before it fires. The
+// zero Handle is valid and cancels nothing.
+type Handle struct {
+	s *Sim
+	e *event
+}
+
+// Cancel removes the event from the schedule if it has not executed yet. It
+// reports whether the event was actually cancelled (false when it already
+// ran, was already cancelled, or the handle is zero). The removal is lazy:
+// the slot stays in the heap and is skipped — without executing or advancing
+// the clock — when it surfaces.
+func (h Handle) Cancel() bool {
+	if h.e == nil || h.e.fn == nil {
+		return false
+	}
+	h.e.fn = nil
+	h.s.cancelled++
+	return true
 }
 
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
 
-// Steps returns the number of events executed so far.
+// Steps returns the number of events executed so far (cancelled events are
+// never executed and never counted).
 func (s *Sim) Steps() int { return s.steps }
 
 // At schedules fn at absolute time t. Scheduling in the past (t < Now) runs
 // the event at the current time instead — events never rewind the clock.
-func (s *Sim) At(t Time, fn func()) {
+func (s *Sim) At(t Time, fn func()) Handle {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	e := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return Handle{s: s, e: e}
 }
 
 // After schedules fn at Now()+d.
-func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+func (s *Sim) After(d Time, fn func()) Handle { return s.At(s.now+d, fn) }
 
 // Stop ends the run after the current event returns.
 func (s *Sim) Stop() { s.stopped = true }
@@ -85,16 +113,29 @@ func (s *Sim) Run(until Time) Time {
 	s.stopped = false
 	for len(s.queue) > 0 && !s.stopped {
 		next := s.queue[0]
+		if next.fn == nil {
+			// Lazily deleted by Cancel: discard without running it or
+			// advancing the clock.
+			heap.Pop(&s.queue)
+			s.cancelled--
+			continue
+		}
 		if next.at > until {
 			break
 		}
 		heap.Pop(&s.queue)
 		s.now = next.at
 		s.steps++
-		next.fn()
+		fn := next.fn
+		// Clear the slot before running: a Handle retained past execution
+		// must see the event as spent (Cancel returns false) rather than
+		// "cancel" it and corrupt the pending count.
+		next.fn = nil
+		fn()
 	}
 	return s.now
 }
 
-// Pending returns the number of events still queued.
-func (s *Sim) Pending() int { return len(s.queue) }
+// Pending returns the number of events still scheduled to run (cancelled
+// events awaiting lazy removal are excluded).
+func (s *Sim) Pending() int { return len(s.queue) - s.cancelled }

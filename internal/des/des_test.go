@@ -1,7 +1,9 @@
 package des_test
 
 import (
+	"math/rand"
 	"testing"
+	"testing/quick"
 
 	"repro/internal/des"
 )
@@ -112,5 +114,139 @@ func TestEventsCanCascade(t *testing.T) {
 	}
 	if end != 100 {
 		t.Errorf("end time = %v, want 100", end)
+	}
+}
+
+// TestExecutionOrderProperty is the satellite testing/quick property for the
+// event core: under arbitrary random interleavings of scheduling (from
+// outside and from inside running events, including past times) and
+// cancellation, the executed events form a sequence that is nondecreasing in
+// time with FIFO tie-breaking by scheduling order, cancelled events never
+// run, and Steps/Pending stay consistent.
+func TestExecutionOrderProperty(t *testing.T) {
+	type executed struct {
+		at  des.Time
+		seq int // global scheduling order
+	}
+	prop := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s des.Sim
+		var got []executed
+		var handles []des.Handle
+		cancelled := map[int]bool{}
+		ran := map[int]bool{}
+		seq := 0
+
+		// schedule registers one event at time at, recording its identity.
+		var schedule func(at des.Time)
+		schedule = func(at des.Time) {
+			id := seq
+			seq++
+			h := s.At(at, func() {
+				ran[id] = true
+				got = append(got, executed{at: maxTime(at, s.Now()), seq: id})
+				// Events may themselves schedule (possibly in the past,
+				// which clamps to Now) and cancel pending events.
+				if rng.Intn(3) == 0 && seq < int(nOps)+64 {
+					schedule(s.Now() + des.Time(rng.Float64()*4-1))
+				}
+				if rng.Intn(4) == 0 && len(handles) > 0 {
+					victim := rng.Intn(len(handles))
+					if handles[victim].Cancel() {
+						cancelled[victim] = true
+					}
+				}
+			})
+			handles = append(handles, h)
+		}
+
+		n := int(nOps%64) + 1
+		for i := 0; i < n; i++ {
+			schedule(des.Time(rng.Float64() * 10))
+			// Cancel a random earlier handle now and then, before running.
+			if rng.Intn(4) == 0 {
+				victim := rng.Intn(len(handles))
+				if handles[victim].Cancel() {
+					cancelled[victim] = true
+				}
+			}
+		}
+		s.Run(des.Infinity)
+
+		// Nondecreasing in time; FIFO (by scheduling order) among ties.
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				t.Logf("seed %d: time went backwards: %v after %v", seed, got[i], got[i-1])
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				t.Logf("seed %d: FIFO tie-break violated: seq %d ran after %d at t=%v",
+					seed, got[i-1].seq, got[i].seq, got[i].at)
+				return false
+			}
+		}
+		// Cancelled events never ran; everything else ran exactly once.
+		for id := range cancelled {
+			if ran[id] {
+				t.Logf("seed %d: cancelled event %d executed", seed, id)
+				return false
+			}
+		}
+		if len(got)+len(cancelled) != seq {
+			t.Logf("seed %d: %d executed + %d cancelled != %d scheduled",
+				seed, len(got), len(cancelled), seq)
+			return false
+		}
+		if s.Steps() != len(got) {
+			t.Logf("seed %d: Steps %d != executed %d", seed, s.Steps(), len(got))
+			return false
+		}
+		if s.Pending() != 0 {
+			t.Logf("seed %d: Pending %d after drain", seed, s.Pending())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func maxTime(a, b des.Time) des.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestCancelSemantics pins the Handle contract directly: double cancel,
+// cancel after execution, and the zero handle.
+func TestCancelSemantics(t *testing.T) {
+	var s des.Sim
+	fired := 0
+	h1 := s.At(1, func() { fired++ })
+	h2 := s.At(2, func() { fired++ })
+	if !h2.Cancel() {
+		t.Error("first Cancel returned false")
+	}
+	if h2.Cancel() {
+		t.Error("second Cancel returned true")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d with one live and one cancelled event, want 1", s.Pending())
+	}
+	s.Run(des.Infinity)
+	if fired != 1 {
+		t.Errorf("fired %d events, want 1", fired)
+	}
+	if h1.Cancel() {
+		t.Error("Cancel after execution returned true")
+	}
+	var zero des.Handle
+	if zero.Cancel() {
+		t.Error("zero Handle cancelled something")
+	}
+	if s.Now() != 1 {
+		t.Errorf("Now = %v; a cancelled later event advanced the clock", s.Now())
 	}
 }

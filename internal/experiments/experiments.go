@@ -1,5 +1,5 @@
 // Package experiments regenerates every quantitative claim of the paper as a
-// printable table. Each experiment E1–E15 corresponds to a row of the
+// printable table. Each experiment E1–E16 corresponds to a row of the
 // experiment index in DESIGN.md; EXPERIMENTS.md records the paper-claim vs
 // measured comparison produced by these functions.
 //
@@ -28,7 +28,7 @@ func SetSweepOptions(o agree.SweepOptions) { sweepOpts = o }
 
 // Table is a rendered experiment result.
 type Table struct {
-	// ID is the experiment identifier (E1..E15).
+	// ID is the experiment identifier (E1..E16).
 	ID string
 	// Title describes the experiment.
 	Title string
@@ -123,10 +123,11 @@ func All() []*Table {
 		E13Valency(),
 		E14LossyChannels(),
 		E15Omission(),
+		E16TimingFaults(),
 	}
 }
 
-// ByID returns the experiment with the given id (E1..E15), or nil.
+// ByID returns the experiment with the given id (E1..E16), or nil.
 func ByID(id string) *Table {
 	switch strings.ToUpper(id) {
 	case "E1":
@@ -159,6 +160,8 @@ func ByID(id string) *Table {
 		return E14LossyChannels()
 	case "E15":
 		return E15Omission()
+	case "E16":
+		return E16TimingFaults()
 	default:
 		return nil
 	}

@@ -27,7 +27,7 @@ func TestAllExperimentsPass(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"E1", "e3", "E10", "E11", "e12", "E13", "E14", "E15"} {
+	for _, id := range []string{"E1", "e3", "E10", "E11", "e12", "E13", "E14", "E15", "e16"} {
 		if tab := experiments.ByID(id); tab == nil {
 			t.Errorf("ByID(%q) = nil", id)
 		}
@@ -39,8 +39,8 @@ func TestByID(t *testing.T) {
 
 func TestAllCoversEveryID(t *testing.T) {
 	tabs := experiments.All()
-	if len(tabs) != 15 {
-		t.Fatalf("All() returned %d experiments, want 15", len(tabs))
+	if len(tabs) != 16 {
+		t.Fatalf("All() returned %d experiments, want 16", len(tabs))
 	}
 	seen := map[string]bool{}
 	for _, tab := range tabs {

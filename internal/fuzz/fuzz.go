@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/sim"
+	"repro/internal/timed"
 )
 
 // Gen tunes the random-walk schedule generator.
@@ -195,12 +196,16 @@ func (rec *recorder) script() Script {
 }
 
 // Target is one system under test: the engine inputs plus the proposals the
-// oracle validates against.
+// oracle validates against. Latency is optional and only meaningful for
+// engines with the timed capability; it rides along into every job the
+// runner builds (the generating run and each replay), so timed campaigns
+// sample identical latencies on every execution of a seed.
 type Target struct {
 	Model     sim.Model
 	Horizon   sim.Round
 	Procs     []sim.Process
 	Proposals []sim.Value
+	Latency   timed.LatencyModel
 }
 
 // Factory builds a fresh Target per execution (processes are stateful, so
@@ -268,7 +273,7 @@ func RunSeed(eng harness.Engine, factory Factory, oracle Oracle, seed int64, opt
 		adv = omittingRecorder{rec}
 	}
 	res, runErr := eng.Run(harness.Job{
-		Model: tgt.Model, Horizon: tgt.Horizon, Procs: tgt.Procs, Adv: adv,
+		Model: tgt.Model, Horizon: tgt.Horizon, Procs: tgt.Procs, Adv: adv, Latency: tgt.Latency,
 	})
 	if res == nil {
 		return out, fmt.Errorf("fuzz: seed %d: %w", seed, runErr)
@@ -289,7 +294,7 @@ func RunSeed(eng harness.Engine, factory Factory, oracle Oracle, seed int64, opt
 	replay := func(s Script) (error, error) {
 		t := factory()
 		r, rerr := eng.Run(harness.Job{
-			Model: t.Model, Horizon: t.Horizon, Procs: t.Procs, Adv: s.Adversary(),
+			Model: t.Model, Horizon: t.Horizon, Procs: t.Procs, Adv: s.Adversary(), Latency: t.Latency,
 		})
 		if r == nil {
 			return nil, fmt.Errorf("fuzz: replaying seed %d: %w", seed, rerr)

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/timed"
 	"repro/internal/trace"
 )
 
@@ -31,6 +32,8 @@ const (
 	KindDeterministic Kind = "deterministic"
 	// KindLockstep is the goroutine-per-process runtime (internal/lockstep).
 	KindLockstep Kind = "lockstep"
+	// KindTimed is the continuous-time discrete-event engine (internal/timed).
+	KindTimed Kind = "timed"
 )
 
 // Capabilities describes what an engine supports. Callers consult the flags
@@ -48,17 +51,25 @@ type Capabilities struct {
 	// batching many jobs onto one Engine value is cheaper than constructing
 	// a fresh engine per job.
 	Reusable bool
+	// Timed: the engine executes on a simulated wall clock — it honors
+	// Job.Latency and reports sim.Result.SimTime. Engines without this flag
+	// reject jobs that specify a latency model.
+	Timed bool
 }
 
 // Job is one engine-agnostic execution request: a process set with its
 // adversary under a model, bounded by a horizon. Trace is optional and
-// requires the Trace capability.
+// requires the Trace capability; Latency is optional and requires the Timed
+// capability (a nil Latency on a timed engine selects timed.DefaultModel,
+// which is within the synchrony bound and therefore semantically identical
+// to the round abstraction).
 type Job struct {
 	Model   sim.Model
 	Horizon sim.Round
 	Procs   []sim.Process
 	Adv     sim.Adversary
 	Trace   *trace.Log
+	Latency timed.LatencyModel
 }
 
 // Engine executes jobs. Implementations must support any number of

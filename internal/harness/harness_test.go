@@ -1,6 +1,8 @@
 package harness_test
 
 import (
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -8,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/sim"
+	"repro/internal/timed"
 	"repro/internal/trace"
 )
 
@@ -27,22 +30,135 @@ func job(n, f int) harness.Job {
 
 func TestRegistryHasBuiltinEngines(t *testing.T) {
 	kinds := harness.Kinds()
-	if len(kinds) != 2 || kinds[0] != harness.KindDeterministic || kinds[1] != harness.KindLockstep {
-		t.Fatalf("kinds = %v, want [deterministic lockstep]", kinds)
+	if len(kinds) != 3 || kinds[0] != harness.KindDeterministic ||
+		kinds[1] != harness.KindLockstep || kinds[2] != harness.KindTimed {
+		t.Fatalf("kinds = %v, want [deterministic lockstep timed]", kinds)
 	}
 	det, ok := harness.Lookup(harness.KindDeterministic)
-	if !ok || !det.Trace || !det.Deterministic || !det.Reusable {
+	if !ok || !det.Trace || !det.Deterministic || !det.Reusable || det.Timed {
 		t.Errorf("deterministic caps = %+v, want trace+deterministic+reusable", det)
 	}
 	ls, ok := harness.Lookup(harness.KindLockstep)
-	if !ok || ls.Trace || ls.Deterministic || ls.Reusable {
+	if !ok || ls.Trace || ls.Deterministic || ls.Reusable || ls.Timed {
 		t.Errorf("lockstep caps = %+v, want none", ls)
+	}
+	td, ok := harness.Lookup(harness.KindTimed)
+	if !ok || !td.Trace || !td.Deterministic || td.Reusable || !td.Timed {
+		t.Errorf("timed caps = %+v, want trace+deterministic+timed (not reusable)", td)
 	}
 	if _, ok := harness.Lookup("bogus"); ok {
 		t.Error("Lookup accepted an unregistered kind")
 	}
 	if _, err := harness.New("bogus"); err == nil {
 		t.Error("New accepted an unregistered kind")
+	}
+}
+
+// dupEngine is a registerable stub that collides with a built-in kind.
+type dupEngine struct{}
+
+func (dupEngine) Kind() harness.Kind                 { return harness.KindDeterministic }
+func (dupEngine) Capabilities() harness.Capabilities { return harness.Capabilities{} }
+func (dupEngine) Run(harness.Job) (*sim.Result, error) {
+	return nil, nil
+}
+
+// TestRegisterDuplicateKindPanics pins the registry's duplicate guard:
+// re-registering an existing kind is an init-time programming error and must
+// panic with a message naming the colliding kind, never silently replace a
+// working engine.
+func TestRegisterDuplicateKindPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, string(harness.KindDeterministic)) ||
+			!strings.Contains(msg, "registered twice") {
+			t.Errorf("panic message %v does not name the duplicate kind", r)
+		}
+	}()
+	harness.Register(func() harness.Engine { return dupEngine{} })
+}
+
+// TestKindsOrderingDeterministic pins that Kinds() is sorted and stable
+// across calls: sweep cross-checks, CLI listings and test expectations all
+// iterate it and rely on a reproducible order (the registry is a map
+// underneath, so without the sort the order would wander).
+func TestKindsOrderingDeterministic(t *testing.T) {
+	first := harness.Kinds()
+	if !sort.SliceIsSorted(first, func(i, j int) bool { return first[i] < first[j] }) {
+		t.Errorf("Kinds() = %v is not sorted", first)
+	}
+	for i := 0; i < 32; i++ {
+		again := harness.Kinds()
+		if len(again) != len(first) {
+			t.Fatalf("Kinds() length changed: %v vs %v", again, first)
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("Kinds() order changed at call %d: %v vs %v", i, again, first)
+			}
+		}
+	}
+}
+
+// TestTimedAdapter runs a job through the timed adapter and checks the
+// semantic outcome matches the deterministic engine while SimTime is
+// reported; it also pins the capability guards (sim/lockstep reject latency
+// models, timed accepts traces).
+func TestTimedAdapter(t *testing.T) {
+	det, err := harness.New(harness.KindDeterministic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := harness.New(harness.KindTimed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := det.Run(job(6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := job(6, 2)
+	j.Latency = timed.Fixed{D: 1, Delta: 0.25}
+	got, err := td.Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != want.Rounds || len(got.Decisions) != len(want.Decisions) ||
+		got.Counters != want.Counters {
+		t.Errorf("timed result %+v differs from deterministic %+v", got, want)
+	}
+	if wantTime := float64(got.Rounds) * 1.25; got.SimTime != wantTime {
+		t.Errorf("SimTime = %g, want %g", got.SimTime, wantTime)
+	}
+	if want.SimTime != 0 {
+		t.Errorf("deterministic engine reported SimTime %g, want 0", want.SimTime)
+	}
+
+	// Traced timed job records a transcript.
+	j = job(3, 0)
+	j.Trace = trace.New()
+	if _, err := td.Run(j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Trace.String() == "" {
+		t.Error("traced timed job produced no transcript")
+	}
+
+	// Engines without the timed capability reject latency models.
+	for _, kind := range []harness.Kind{harness.KindDeterministic, harness.KindLockstep} {
+		eng, err := harness.New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := job(3, 0)
+		j.Latency = timed.Fixed{D: 1}
+		if _, err := eng.Run(j); err == nil {
+			t.Errorf("engine %q accepted a latency model without the timed capability", kind)
+		}
 	}
 }
 

@@ -30,6 +30,9 @@ func (lockstepEngine) Run(job Job) (*sim.Result, error) {
 	if job.Trace != nil {
 		return nil, fmt.Errorf("harness: engine %q has no trace capability", KindLockstep)
 	}
+	if job.Latency != nil {
+		return nil, fmt.Errorf("harness: engine %q has no timed capability", KindLockstep)
+	}
 	rt, err := lockstep.New(lockstep.Config{Model: job.Model, Horizon: job.Horizon}, job.Procs, job.Adv)
 	if err != nil {
 		return nil, err

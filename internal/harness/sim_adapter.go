@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -36,6 +38,9 @@ func (e *simEngine) Capabilities() Capabilities {
 // (Fault behaviour — crashes and omissions alike — lives entirely in the
 // adversary, which Reset replaces, so it never constrains reuse.)
 func (e *simEngine) Run(job Job) (*sim.Result, error) {
+	if job.Latency != nil {
+		return nil, fmt.Errorf("harness: engine %q has no timed capability", KindDeterministic)
+	}
 	if e.eng != nil && job.Model == e.model && job.Horizon == e.horizon && job.Trace == e.tr {
 		if err := e.eng.Reset(job.Procs, job.Adv); err != nil {
 			return nil, err

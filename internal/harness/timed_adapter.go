@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"repro/internal/sim"
+	"repro/internal/timed"
+)
+
+// timedEngine adapts the continuous-time discrete-event engine
+// (internal/timed) to the harness interface. A timed.Engine is consumed by
+// one run — its event queue and clock are not rewindable — so the adapter
+// constructs one per job and advertises no Reusable capability. It does
+// advertise Deterministic: the event loop is single-threaded, adversaries
+// are consulted in the same (round, process-id) order as the deterministic
+// engine, and the seeded Jitter latency model derives randomness from pure
+// per-message hashes.
+type timedEngine struct{}
+
+func init() {
+	Register(func() Engine { return timedEngine{} })
+}
+
+// Kind implements Engine.
+func (timedEngine) Kind() Kind { return KindTimed }
+
+// Capabilities implements Engine.
+func (timedEngine) Capabilities() Capabilities {
+	return Capabilities{Trace: true, Deterministic: true, Timed: true}
+}
+
+// Run implements Engine.
+func (timedEngine) Run(job Job) (*sim.Result, error) {
+	eng, err := timed.New(timed.Config{
+		Model:   job.Model,
+		Horizon: job.Horizon,
+		Trace:   job.Trace,
+		Latency: job.Latency,
+	}, job.Procs, job.Adv)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}

@@ -93,6 +93,23 @@ func (p Profile) Delta() float64 {
 	return p.transmission(1)
 }
 
+// DataLatency returns the transfer latency of a b-bit data message:
+// propagation plus serialization, without the per-round processing budget.
+// It is what a continuous-time engine charges a data message on this
+// profile; the slack D(b) - DataLatency(b) = ProcessingSeconds is the
+// processing headroom the synchrony bound leaves the receiver.
+func (p Profile) DataLatency(b int) float64 {
+	return p.PropagationSeconds + p.transmission(float64(b))
+}
+
+// CtrlLatency returns the transfer latency of a control message pipelined
+// behind a b-bit data message on the same channel: the data latency plus one
+// extra minimum-frame serialization time (δ). Within the extended model's
+// D + δ bound by construction.
+func (p Profile) CtrlLatency(b int) float64 {
+	return p.DataLatency(b) + p.Delta()
+}
+
 // Ratio returns δ/D for b-bit proposals.
 func (p Profile) Ratio(b int) float64 { return p.Delta() / p.D(b) }
 

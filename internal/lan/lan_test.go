@@ -1,6 +1,7 @@
 package lan_test
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/lan"
@@ -77,6 +78,29 @@ func TestString(t *testing.T) {
 	for _, p := range lan.Profiles() {
 		if p.String() == "" {
 			t.Error("empty String()")
+		}
+	}
+}
+
+func TestMessageLatenciesWithinBounds(t *testing.T) {
+	// The per-message latencies the timed engine charges must respect the
+	// synchrony bounds the same profile derives: a data message arrives
+	// within D (the slack is exactly the processing budget) and a control
+	// message within D + δ (pipelined one minimum frame behind the data).
+	for _, p := range lan.Profiles() {
+		for _, b := range []int{8, 64, 4096} {
+			if got, want := p.DataLatency(b), p.D(b); got > want {
+				t.Errorf("%s: DataLatency(%d) = %g exceeds D = %g", p.Name, b, got, want)
+			}
+			if slack := p.D(b) - p.DataLatency(b); math.Abs(slack-p.ProcessingSeconds) > 1e-12*p.ProcessingSeconds {
+				t.Errorf("%s: data slack %g, want processing budget %g", p.Name, slack, p.ProcessingSeconds)
+			}
+			if got, want := p.CtrlLatency(b), p.D(b)+p.Delta(); got > want {
+				t.Errorf("%s: CtrlLatency(%d) = %g exceeds D+δ = %g", p.Name, b, got, want)
+			}
+			if got, want := p.CtrlLatency(b), p.DataLatency(b)+p.Delta(); got != want {
+				t.Errorf("%s: CtrlLatency(%d) = %g, want data+δ = %g", p.Name, b, got, want)
+			}
 		}
 	}
 }

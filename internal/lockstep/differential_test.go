@@ -143,7 +143,8 @@ func randomAgreeScript(rng *rand.Rand, n int) agree.FaultSpec {
 // TestCrossCheckDifferentialAllProtocols extends the engine differential
 // beyond CRW to ProtocolEarlyStop and ProtocolFloodSet, driven through the
 // sweep harness's CrossCheck mode: every configuration runs on the
-// deterministic engine and is re-executed on the lockstep runtime, and any
+// deterministic engine and is re-executed on every other registered engine
+// (the lockstep runtime and the continuous-time timed engine), and any
 // semantic divergence (rounds, decisions, crash set, counters) fails the
 // item. scripts/verify.sh runs this under -race.
 func TestCrossCheckDifferentialAllProtocols(t *testing.T) {
@@ -182,8 +183,8 @@ func TestCrossCheckDifferentialAllProtocols(t *testing.T) {
 // fuzzer-generated random schedules: each is recorded by the fuzz package's
 // random-walk adversary on the deterministic engine, converted to the
 // public replay format, and swept with CrossCheck, which re-executes every
-// configuration on the lockstep runtime and fails the item on any semantic
-// divergence. Unlike randomScript above, these schedules come from the
+// configuration on each other registered engine — the lockstep runtime and
+// the timed engine — and fails the item on any semantic divergence. Unlike randomScript above, these schedules come from the
 // exact generator the fuzzing campaigns use — masks sized to the real send
 // plans, legal crash points only — so this is the differential gate for
 // the fuzzer's replay path. scripts/verify.sh runs this under -race.

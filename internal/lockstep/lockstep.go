@@ -30,7 +30,6 @@ package lockstep
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/metrics"
@@ -238,12 +237,7 @@ func (rt *Runtime) run(w *worker) {
 			}
 			inbox = inbox[:w2]
 		}
-		sort.SliceStable(inbox, func(i, j int) bool {
-			if inbox[i].From != inbox[j].From {
-				return inbox[i].From < inbox[j].From
-			}
-			return inbox[i].Kind < inbox[j].Kind
-		})
+		sim.SortInbox(inbox)
 		w.proc.Receive(r, inbox)
 		v, dec := w.proc.Decided()
 		rrep.decided, rrep.value = dec, v

@@ -41,6 +41,14 @@ type Counters struct {
 	// transmitted — and is counted in DataMsgs/CtrlMsgs — but the faulty
 	// receiver never sees it).
 	OmittedRecv int
+	// Late counts messages whose sampled latency exceeded the synchrony
+	// bound on a continuous-time engine: a timing fault. The message was
+	// transmitted (counted in DataMsgs/CtrlMsgs) but missed its round and is
+	// handled exactly like a receive omission — dropped before the
+	// receiver's inbox — while being accounted separately from the
+	// adversary-injected OmittedRecv. Always zero on round-based engines and
+	// under latency models that respect the bound.
+	Late int
 	// Rounds is the number of rounds the execution lasted.
 	Rounds int
 }
@@ -75,6 +83,7 @@ func (c *Counters) Merge(other Counters) {
 	c.OmittedData += other.OmittedData
 	c.OmittedCtrl += other.OmittedCtrl
 	c.OmittedRecv += other.OmittedRecv
+	c.Late += other.Late
 	c.Rounds += other.Rounds
 }
 
@@ -87,6 +96,9 @@ func (c *Counters) String() string {
 		c.DroppedData, c.DroppedCtrl)
 	if c.OmittedData != 0 || c.OmittedCtrl != 0 || c.OmittedRecv != 0 {
 		s += fmt.Sprintf(" omitted=%d/%d/%d", c.OmittedData, c.OmittedCtrl, c.OmittedRecv)
+	}
+	if c.Late != 0 {
+		s += fmt.Sprintf(" late=%d", c.Late)
 	}
 	return s
 }

@@ -63,6 +63,12 @@ type Result struct {
 	Omissive map[ProcID]int
 	// Counters holds the communication cost of the run.
 	Counters metrics.Counters
+	// SimTime is the simulated wall-clock completion time of the run, in the
+	// time units of the engine's latency model. Only continuous-time engines
+	// (internal/timed) set it; the round-abstraction engines leave it zero.
+	// Cross-engine comparisons deliberately exclude it: it prices the same
+	// semantic execution, it does not change it.
+	SimTime float64
 }
 
 // Faults returns the number of crashes that occurred in the run (the paper's
@@ -373,7 +379,7 @@ func (e *Engine) round(r Round) error {
 		if i < len(e.recvOmit) && e.recvOmit[i] != nil {
 			in = e.applyRecvOmission(in, e.recvOmit[i], r)
 		}
-		sortInbox(in)
+		SortInbox(in)
 		p.Receive(r, in)
 		if v, ok := p.Decided(); ok {
 			if !e.decided[i] {
@@ -526,12 +532,15 @@ func (e *Engine) deliver(m Message) {
 	}
 }
 
-// sortInbox orders an inbox deterministically: by sender, data before
+// SortInbox orders an inbox deterministically: by sender, data before
 // control. Protocol behaviour must not depend on the order, but determinism
-// keeps executions reproducible bit-for-bit. Inboxes are small (at most a few
-// messages per sender), so a stable insertion sort beats sort.SliceStable and
-// performs no allocations.
-func sortInbox(in []Message) {
+// keeps executions reproducible bit-for-bit — and the engines' cross-check
+// contract depends on every engine presenting identical inboxes, so this is
+// THE canonical order: all engines (deterministic, lockstep, timed) must
+// call this one function rather than reimplement it. Inboxes are small (at
+// most a few messages per sender), so a stable insertion sort beats
+// sort.SliceStable and performs no allocations.
+func SortInbox(in []Message) {
 	for i := 1; i < len(in); i++ {
 		m := in[i]
 		j := i - 1

@@ -40,7 +40,7 @@ func FuzzInboxOrdering(f *testing.F) {
 			in = append(in, m)
 		}
 		orig := append([]Message(nil), in...)
-		sortInbox(in)
+		SortInbox(in)
 
 		// (1) Sorted: no adjacent pair is inverted.
 		for i := 1; i < len(in); i++ {
@@ -87,7 +87,7 @@ func FuzzInboxOrdering(f *testing.F) {
 		for i, m := range orig {
 			rev[len(orig)-1-i] = m
 		}
-		sortInbox(rev)
+		SortInbox(rev)
 		for i := range in {
 			if key(in[i]) != key(rev[i]) {
 				t.Fatalf("key sequence depends on arrival order at %d: %v vs %v", i, in[i], rev[i])

@@ -1,0 +1,202 @@
+package timed_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adversary"
+	"repro/internal/consensus/earlystop"
+	"repro/internal/consensus/floodset"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/timed"
+)
+
+// randomMixedSpec builds a random but order-insensitive mixed
+// crash+omission adversary: scripted crash plans (legal truncations only)
+// plus scripted omission plans strictly before any crash of the same
+// process. Pure functions of (process, round), so both engines see
+// identical fault behaviour.
+func randomMixedSpec(rng *rand.Rand, n int) sim.Adversary {
+	crashes := map[sim.ProcID]adversary.CrashPlan{}
+	omissions := map[sim.ProcID][]adversary.OmissionPlan{}
+	perm := rng.Perm(n)
+	nCrash := rng.Intn(n) // 0..n-1 crashes: somebody survives
+	for i := 0; i < nCrash; i++ {
+		p := sim.ProcID(perm[i] + 1)
+		cp := adversary.CrashPlan{Round: sim.Round(rng.Intn(n) + 2)}
+		if rng.Intn(2) == 0 {
+			mask := make([]bool, rng.Intn(n))
+			for j := range mask {
+				mask[j] = rng.Intn(2) == 1
+			}
+			cp.DataMask = mask
+		} else {
+			cp.DeliverAllData = true
+			cp.CtrlPrefix = rng.Intn(n)
+		}
+		crashes[p] = cp
+	}
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) != 0 {
+			continue
+		}
+		p := sim.ProcID(i + 1)
+		maxRound := n + 1
+		if cp, ok := crashes[p]; ok {
+			maxRound = int(cp.Round) - 1
+		}
+		if maxRound < 1 {
+			continue
+		}
+		op := adversary.OmissionPlan{Round: sim.Round(rng.Intn(maxRound) + 1)}
+		switch rng.Intn(3) {
+		case 0:
+			op.DropAllSend = true
+		case 1:
+			op.DropAllRecv = true
+		default:
+			mask := make([]bool, n)
+			for j := range mask {
+				mask[j] = rng.Intn(2) == 1
+			}
+			op.Recv = mask
+		}
+		omissions[p] = append(omissions[p], op)
+	}
+	if len(omissions) == 0 {
+		if len(crashes) == 0 {
+			return adversary.None{}
+		}
+		return adversary.NewScript(crashes)
+	}
+	return adversary.Combine(adversary.NewScript(crashes), adversary.NewOmissionScript(n, omissions))
+}
+
+// diffResults compares every semantic field of two engine results except
+// SimTime (the one field only continuous-time engines produce).
+func diffResults(t *testing.T, label string, got, want *sim.Result) bool {
+	t.Helper()
+	ok := true
+	if got.Rounds != want.Rounds {
+		t.Logf("%s: rounds %d vs %d", label, got.Rounds, want.Rounds)
+		ok = false
+	}
+	if len(got.Decisions) != len(want.Decisions) {
+		t.Logf("%s: %d vs %d deciders", label, len(got.Decisions), len(want.Decisions))
+		ok = false
+	}
+	for id, v := range want.Decisions {
+		if got.Decisions[id] != v || got.DecideRound[id] != want.DecideRound[id] {
+			t.Logf("%s: p%d decided %d@r%d vs %d@r%d", label, id,
+				got.Decisions[id], got.DecideRound[id], v, want.DecideRound[id])
+			ok = false
+		}
+	}
+	if len(got.Crashed) != len(want.Crashed) {
+		t.Logf("%s: crash sets %v vs %v", label, got.Crashed, want.Crashed)
+		ok = false
+	}
+	for id, r := range want.Crashed {
+		if got.Crashed[id] != r {
+			t.Logf("%s: p%d crash round %d vs %d", label, id, got.Crashed[id], r)
+			ok = false
+		}
+	}
+	if len(got.Omissive) != len(want.Omissive) {
+		t.Logf("%s: omissive sets %v vs %v", label, got.Omissive, want.Omissive)
+		ok = false
+	}
+	for id, c := range want.Omissive {
+		if got.Omissive[id] != c {
+			t.Logf("%s: p%d omissive rounds %d vs %d", label, id, got.Omissive[id], c)
+			ok = false
+		}
+	}
+	if got.Counters != want.Counters {
+		t.Logf("%s: counters %s vs %s", label, got.Counters.String(), want.Counters.String())
+		ok = false
+	}
+	return ok
+}
+
+// TestTimedDifferentialAgainstDeterministic is the engine differential the
+// timed substrate must pass to be registered at all: for random mixed
+// crash+omission schedules across all three protocols, the continuous-time
+// execution under any within-bound latency model is bit-identical to the
+// deterministic round engine — same decisions, decide rounds, crash and
+// omission bookkeeping, traffic counters, and run verdict. Only SimTime
+// differs (it is the point of the engine). scripts/verify.sh runs this
+// under -race.
+func TestTimedDifferentialAgainstDeterministic(t *testing.T) {
+	latencies := []timed.LatencyModel{
+		nil, // engine default
+		timed.Fixed{D: 2, Delta: 0.5},
+		timed.Jitter{D: 1, Delta: 0.2, Floor: 0.1, Spread: 0.85, Seed: 5},
+	}
+	prop := func(seed int64, nRaw, protoRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%8) + 3
+		props := make([]sim.Value, n)
+		for i := range props {
+			props[i] = sim.Value(rng.Intn(1000))
+		}
+		model := sim.ModelExtended
+		mkProcs := func() []sim.Process {
+			switch protoRaw % 3 {
+			case 1:
+				return earlystop.NewSystem(props, n-1, 64)
+			case 2:
+				return floodset.NewSystem(props, n-1, 64)
+			default:
+				return core.NewSystem(props, core.Options{})
+			}
+		}
+		if protoRaw%3 != 0 {
+			model = sim.ModelClassic
+		}
+		horizon := sim.Round(n + 2)
+
+		mkAdv := func() sim.Adversary {
+			return randomMixedSpec(rand.New(rand.NewSource(seed)), n)
+		}
+
+		ref, err := sim.NewEngine(sim.Config{Model: model, Horizon: horizon}, mkProcs(), mkAdv())
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		want, wantErr := ref.Run()
+
+		for li, lat := range latencies {
+			eng, err := timed.New(timed.Config{Model: model, Horizon: horizon, Latency: lat},
+				mkProcs(), mkAdv())
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			got, gotErr := eng.Run()
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Logf("seed=%d n=%d proto=%d lat=%d: err %v vs %v", seed, n, protoRaw%3, li, gotErr, wantErr)
+				return false
+			}
+			if got.Counters.Late != 0 {
+				t.Logf("seed=%d: within-bound model %d produced %d late messages", seed, li, got.Counters.Late)
+				return false
+			}
+			if got.SimTime <= 0 {
+				t.Logf("seed=%d: timed engine reported SimTime %g", seed, got.SimTime)
+				return false
+			}
+			if !diffResults(t, "timed vs deterministic", got, want) {
+				t.Logf("seed=%d n=%d proto=%d lat=%d diverged", seed, n, protoRaw%3, li)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

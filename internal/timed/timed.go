@@ -1,0 +1,464 @@
+// Package timed is a continuous-time consensus engine: it executes the same
+// sim.Process state machines as the round-based engines (internal/sim,
+// internal/lockstep), under the same sim.Adversary / sim.Omitter fault
+// interfaces, but on a discrete-event simulation (internal/des) in which
+// every data and control message is a timed event priced by a pluggable
+// LatencyModel.
+//
+// Round boundaries emerge from timers rather than lockstep barriers: a round
+// starts at simulated time T, each alive process executes its send phase and
+// every transmitted message is scheduled to arrive at T plus its sampled
+// latency; per-process receive timers fire at the round deadline T + D
+// (classic model) or T + D + δ (extended model), deliver whatever arrived in
+// time, and run the local computation phase. The paper's timing claim —
+// an (f+1)-round extended run costs (f+1)(D+δ) against min(f+2, t+1)·D
+// classically — thereby becomes executable: sim.Result.SimTime is measured
+// from the event clock, not derived analytically.
+//
+// Synchrony is an assumption the latency model may violate: a data message
+// whose latency exceeds D, or a control message whose latency exceeds D + δ,
+// is a timing fault. The engine maps it to a receive omission — the message
+// was transmitted but its destination never sees it (metrics.Counters.Late)
+// — which is exactly how partial synchrony degrades into the omission fault
+// model of the round engines.
+//
+// When every latency respects the bound the engine is semantically identical
+// to internal/sim, bit for bit: same decisions, decide rounds, crash and
+// omission bookkeeping, and traffic counters. The differential tests and the
+// sweep harness's CrossCheck mode enforce this; only SimTime distinguishes
+// the engines.
+package timed
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config configures a timed execution.
+type Config struct {
+	// Model selects classic or extended semantics (round duration D vs D+δ).
+	Model sim.Model
+	// Horizon bounds the number of rounds; zero defaults to n + 2.
+	Horizon sim.Round
+	// Trace, if non-nil, receives the execution transcript (with simulated
+	// timestamps in the details).
+	Trace *trace.Log
+	// Latency prices messages and fixes the synchrony bound; nil uses
+	// DefaultModel.
+	Latency LatencyModel
+}
+
+// Engine executes one job on the discrete-event clock. Like the lockstep
+// runtime, an Engine value is consumed by a single Run; the harness adapter
+// constructs one per job.
+type Engine struct {
+	cfg   Config
+	procs []sim.Process
+	adv   sim.Adversary
+	omit  sim.Omitter
+	lat   LatencyModel
+
+	d, delta des.Time
+	roundDur des.Time
+
+	alive    []bool
+	halted   []bool
+	decided  []bool
+	decVal   []sim.Value
+	decRnd   []sim.Round
+	crashRnd []sim.Round
+	omitCnt  []int
+	recvOmit [][]bool
+	inbox    [][]sim.Message
+
+	aliveUnhalted int
+	nDecided      int
+	nCrashed      int
+	ctr           metrics.Counters
+
+	ds     des.Sim
+	rounds sim.Round
+	err    error
+	ran    bool
+}
+
+// New builds a timed engine over the given processes (ids 1..n in order).
+func New(cfg Config, procs []sim.Process, adv sim.Adversary) (*Engine, error) {
+	if len(procs) == 0 {
+		return nil, errors.New("timed: no processes")
+	}
+	for i, p := range procs {
+		if p.ID() != sim.ProcID(i+1) {
+			return nil, fmt.Errorf("timed: process at index %d has id %d, want %d", i, p.ID(), i+1)
+		}
+	}
+	if adv == nil {
+		return nil, errors.New("timed: nil adversary")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = sim.Round(len(procs) + 2)
+	}
+	lat := cfg.Latency
+	if lat == nil {
+		lat = DefaultModel()
+	}
+	if err := validateModel(lat); err != nil {
+		return nil, err
+	}
+	n := len(procs)
+	e := &Engine{cfg: cfg, procs: procs, adv: adv, lat: lat}
+	e.omit, _ = adv.(sim.Omitter)
+	e.d, e.delta = lat.Params()
+	e.roundDur = e.d
+	if cfg.Model == sim.ModelExtended {
+		e.roundDur += e.delta
+	}
+	e.alive = make([]bool, n)
+	e.halted = make([]bool, n)
+	e.decided = make([]bool, n)
+	e.decVal = make([]sim.Value, n)
+	e.decRnd = make([]sim.Round, n)
+	e.crashRnd = make([]sim.Round, n)
+	e.inbox = make([][]sim.Message, n)
+	if e.omit != nil {
+		e.omitCnt = make([]int, n)
+		e.recvOmit = make([][]bool, n)
+	}
+	for i := range e.alive {
+		e.alive[i] = true
+	}
+	e.aliveUnhalted = n
+	return e, nil
+}
+
+// Run executes the system on the event clock until every alive process has
+// halted, the horizon is reached, or a model violation occurs. It returns
+// the result in all cases; the result is partial when err != nil. Run may be
+// called once per Engine.
+func (e *Engine) Run() (*sim.Result, error) {
+	if e.ran {
+		return nil, errors.New("timed: Engine.Run called twice (the engine is single-use)")
+	}
+	e.ran = true
+	e.ds.At(0, func() { e.roundStart(1) })
+	e.ds.Run(des.Infinity)
+
+	res := &sim.Result{
+		Rounds:      e.rounds,
+		Decisions:   make(map[sim.ProcID]sim.Value, e.nDecided),
+		DecideRound: make(map[sim.ProcID]sim.Round, e.nDecided),
+		Crashed:     make(map[sim.ProcID]sim.Round, e.nCrashed),
+		Counters:    e.ctr,
+		SimTime:     float64(e.ds.Now()),
+	}
+	for i := range e.procs {
+		id := sim.ProcID(i + 1)
+		if e.decided[i] {
+			res.Decisions[id] = e.decVal[i]
+			res.DecideRound[id] = e.decRnd[i]
+		}
+		if e.crashRnd[i] != 0 {
+			res.Crashed[id] = e.crashRnd[i]
+		}
+		if i < len(e.omitCnt) && e.omitCnt[i] != 0 {
+			if res.Omissive == nil {
+				res.Omissive = make(map[sim.ProcID]int)
+			}
+			res.Omissive[id] = e.omitCnt[i]
+		}
+	}
+	res.Counters.Rounds = int(e.rounds)
+	return res, e.err
+}
+
+// fail aborts the run after the current event.
+func (e *Engine) fail(err error) {
+	e.err = err
+	e.ds.Stop()
+}
+
+// allQuiet reports whether every alive process has halted.
+func (e *Engine) allQuiet() bool { return e.aliveUnhalted == 0 }
+
+// roundStart opens round r at the current simulated time: it runs the send
+// phase of every alive, unhalted process in id order (the same adversary
+// consultation order as the deterministic engine), scheduling each
+// transmitted message's arrival, then arms one receive timer per process and
+// the round controller at the deadline. FIFO tie-breaking in the event queue
+// guarantees that an arrival at exactly the deadline still precedes the
+// receive timers (it was scheduled earlier), and that the controller runs
+// after every receive timer.
+func (e *Engine) roundStart(r sim.Round) {
+	e.rounds = r
+	deadline := e.ds.Now() + e.roundDur
+	for i := range e.recvOmit {
+		e.recvOmit[i] = nil
+	}
+	for _, p := range e.procs {
+		id := p.ID()
+		i := int(id) - 1
+		if !e.alive[i] || e.halted[i] {
+			continue
+		}
+		plan := p.Send(r)
+		if e.cfg.Model == sim.ModelClassic && len(plan.Control) > 0 {
+			e.fail(fmt.Errorf("%w (process p%d, round %d)", sim.ErrControlInClassic, id, r))
+			return
+		}
+		if err := sim.ValidatePlan(id, len(e.procs), plan); err != nil {
+			e.fail(fmt.Errorf("%v (round %d)", err, r))
+			return
+		}
+		crash, outcome := e.adv.Crashes(id, r, plan)
+		if crash {
+			if !outcome.ValidFor(plan) {
+				e.fail(fmt.Errorf("%w (process p%d, round %d)", sim.ErrBadOutcome, id, r))
+				return
+			}
+			e.alive[i] = false
+			e.crashRnd[i] = r
+			e.aliveUnhalted--
+			e.nCrashed++
+			if e.cfg.Trace.Enabled() {
+				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindCrash, From: int(id),
+					Detail: fmt.Sprintf("t=%g during send (data %s, ctrl prefix %d/%d)",
+						float64(e.ds.Now()), subsetString(outcome.DataDelivered), outcome.CtrlPrefix, len(plan.Control))})
+			}
+			e.emitCrashed(id, r, plan, outcome)
+			continue
+		}
+		if e.omit != nil {
+			if om := e.omit.Omits(id, r, plan); !om.IsZero() {
+				if !om.ValidFor(plan) {
+					e.fail(fmt.Errorf("%w (process p%d, round %d)", sim.ErrBadOmission, id, r))
+					return
+				}
+				e.omitCnt[i]++
+				e.recvOmit[i] = om.Recv
+				e.emitOmitted(id, r, plan, om)
+				continue
+			}
+		}
+		for _, o := range plan.Data {
+			e.send(sim.Message{From: id, To: o.To, Round: r, Kind: sim.Data, Payload: o.Payload})
+		}
+		for _, to := range plan.Control {
+			e.send(sim.Message{From: id, To: to, Round: r, Kind: sim.Control})
+		}
+	}
+	// One receive timer per live participant: processes already crashed or
+	// halted at round start receive nothing (arrive refuses deliveries to
+	// both), so scheduling their timers would only churn the event heap. A
+	// process that halts during this round's receive phase still owns this
+	// round's timer and drops out next round.
+	for _, p := range e.procs {
+		i := int(p.ID()) - 1
+		if !e.alive[i] || e.halted[i] {
+			continue
+		}
+		p := p
+		e.ds.At(deadline, func() { e.receive(p, r) })
+	}
+	e.ds.At(deadline, func() { e.roundEnd(r) })
+}
+
+// emitCrashed transmits the escaped part of a crashing sender's plan: the
+// delivered data subset and the escaped control prefix. Suppressed messages
+// are accounted as dropped, exactly like the round engines.
+func (e *Engine) emitCrashed(from sim.ProcID, r sim.Round, plan sim.SendPlan, out sim.CrashOutcome) {
+	for i, o := range plan.Data {
+		if !out.DataDelivered[i] {
+			e.ctr.DroppedData++
+			e.traceDrop(r, from, o.To, "data")
+			continue
+		}
+		e.send(sim.Message{From: from, To: o.To, Round: r, Kind: sim.Data, Payload: o.Payload})
+	}
+	for i, to := range plan.Control {
+		if i >= out.CtrlPrefix {
+			e.ctr.DroppedCtrl++
+			e.traceDrop(r, from, to, "control")
+			continue
+		}
+		e.send(sim.Message{From: from, To: to, Round: r, Kind: sim.Control})
+	}
+}
+
+// emitOmitted transmits a live sender's plan under a send-omission mask.
+func (e *Engine) emitOmitted(from sim.ProcID, r sim.Round, plan sim.SendPlan, om sim.Omission) {
+	for i, o := range plan.Data {
+		if om.Data != nil && !om.Data[i] {
+			e.ctr.OmittedData++
+			e.traceDrop(r, from, o.To, "data (send omission)")
+			continue
+		}
+		e.send(sim.Message{From: from, To: o.To, Round: r, Kind: sim.Data, Payload: o.Payload})
+	}
+	for i, to := range plan.Control {
+		if om.Ctrl != nil && !om.Ctrl[i] {
+			e.ctr.OmittedCtrl++
+			e.traceDrop(r, from, to, "control (send omission)")
+			continue
+		}
+		e.send(sim.Message{From: from, To: to, Round: r, Kind: sim.Control})
+	}
+}
+
+// send transmits one message: it is accounted as sent, its latency is
+// sampled, and — if the latency respects the synchrony bound of its kind —
+// its arrival is scheduled as a timed event. A latency beyond the bound is a
+// timing fault: the message misses its round and is mapped to a receive
+// omission at the destination (Counters.Late).
+func (e *Engine) send(m sim.Message) {
+	if m.Kind == sim.Control {
+		e.ctr.AddCtrl()
+	} else {
+		e.ctr.AddData(m.Bits())
+	}
+	lat := e.lat.Latency(m.From, m.To, m.Round, m.Kind)
+	bound := e.d
+	if m.Kind == sim.Control {
+		bound = e.d + e.delta
+	}
+	if e.cfg.Trace.Enabled() {
+		e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindSend,
+			From: int(m.From), To: int(m.To),
+			Detail: fmt.Sprintf("%s t=%g lat=%g", m.Kind, float64(e.ds.Now()), float64(lat))})
+	}
+	if lat > bound {
+		e.ctr.Late++
+		e.traceDrop(m.Round, m.From, m.To, fmt.Sprintf("%s late (lat %g > bound %g; timing fault -> receive omission)",
+			m.Kind, float64(lat), float64(bound)))
+		return
+	}
+	e.ds.After(lat, func() { e.arrive(m) })
+}
+
+// arrive delivers a message into its destination's inbox for the current
+// round. Messages to crashed processes vanish (they were transmitted and
+// accounted; nobody is there to receive them).
+func (e *Engine) arrive(m sim.Message) {
+	i := int(m.To) - 1
+	if !e.alive[i] || e.halted[i] {
+		// Crashed: nobody is there. Halted: alive but returned — the round
+		// engines discard its deliveries at the receive phase; with no
+		// receive timer scheduled for it, the discard happens here instead.
+		return
+	}
+	e.inbox[i] = append(e.inbox[i], m)
+	if e.cfg.Trace.Enabled() {
+		e.cfg.Trace.Add(trace.Event{Round: int(m.Round), Kind: trace.KindDeliver,
+			From: int(m.From), To: int(m.To),
+			Detail: fmt.Sprintf("%s t=%g", m.Kind, float64(e.ds.Now()))})
+	}
+}
+
+// receive is process p's round-r deadline timer: the receive phase plus the
+// local computation phase, mirroring the deterministic engine's receive loop
+// body exactly.
+func (e *Engine) receive(p sim.Process, r sim.Round) {
+	id := p.ID()
+	i := int(id) - 1
+	if !e.alive[i] {
+		e.inbox[i] = e.inbox[i][:0]
+		return
+	}
+	if e.halted[i] {
+		// A halted process stays alive but silent; anything delivered to it
+		// is discarded.
+		e.inbox[i] = e.inbox[i][:0]
+		return
+	}
+	in := e.inbox[i]
+	e.inbox[i] = in[:0]
+	if i < len(e.recvOmit) && e.recvOmit[i] != nil {
+		in = e.applyRecvOmission(in, e.recvOmit[i], r)
+	}
+	sim.SortInbox(in)
+	p.Receive(r, in)
+	if v, ok := p.Decided(); ok && !e.decided[i] {
+		e.decided[i] = true
+		e.decVal[i] = v
+		e.decRnd[i] = r
+		e.nDecided++
+		if e.cfg.Trace.Enabled() {
+			e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDecide,
+				From: int(id), Detail: fmt.Sprintf("value %d t=%g", int64(v), float64(e.ds.Now()))})
+		}
+	}
+	if p.Halted() {
+		if !e.decided[i] {
+			e.fail(fmt.Errorf("%w (process p%d, round %d)", sim.ErrHaltedWithoutDecision, id, r))
+			return
+		}
+		if !e.halted[i] {
+			e.halted[i] = true
+			e.aliveUnhalted--
+			if e.cfg.Trace.Enabled() {
+				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindHalt, From: int(id)})
+			}
+		}
+	}
+}
+
+// applyRecvOmission compacts an inbox to the messages surviving an
+// adversarial receive-omission mask.
+func (e *Engine) applyRecvOmission(in []sim.Message, mask []bool, r sim.Round) []sim.Message {
+	w := 0
+	for _, m := range in {
+		if i := int(m.From) - 1; i < len(mask) && !mask[i] {
+			e.ctr.OmittedRecv++
+			e.traceDrop(r, m.From, m.To, m.Kind.String()+" (receive omission)")
+			continue
+		}
+		in[w] = m
+		w++
+	}
+	return in[:w]
+}
+
+// roundEnd is the round controller: it runs after every receive timer of
+// round r and decides whether the system is done, out of budget, or starts
+// round r+1 at the current time (rounds are back to back — the receive and
+// computation phases fit inside the round's D, per the model).
+func (e *Engine) roundEnd(r sim.Round) {
+	if e.allQuiet() {
+		e.ds.Stop()
+		return
+	}
+	if r >= e.cfg.Horizon {
+		e.fail(sim.ErrNoProgress)
+		return
+	}
+	e.roundStart(r + 1)
+}
+
+// traceDrop records a suppressed message when tracing is enabled.
+func (e *Engine) traceDrop(r sim.Round, from, to sim.ProcID, detail string) {
+	if e.cfg.Trace.Enabled() {
+		e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDrop,
+			From: int(from), To: int(to), Detail: detail})
+	}
+}
+
+// subsetString renders a delivered-subset mask compactly, e.g. "{1,3}/4".
+func subsetString(mask []bool) string {
+	s := "{"
+	first := true
+	for i, b := range mask {
+		if !b {
+			continue
+		}
+		if !first {
+			s += ","
+		}
+		s += fmt.Sprint(i + 1)
+		first = false
+	}
+	return fmt.Sprintf("%s}/%d", s, len(mask))
+}
