@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fuzz"
 	"repro/internal/harness"
+	"repro/internal/laws"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simulate"
@@ -367,6 +368,31 @@ func validateOmissionScript(oscript map[sim.ProcID][]adversary.OmissionPlan,
 	return nil
 }
 
+// budget derives the fault budget a spec is allowed to spend on an n-process
+// system — the bound the crash-budget and omission-budget laws audit every
+// run against. A spec that can never crash (or never omit) gets a zero
+// budget for that class, so a single leaked fault is a law violation.
+func (f FaultSpec) budget(n int) laws.Budget {
+	switch f.kind {
+	case "coordkiller":
+		return laws.Budget{Crashes: f.f, Omissive: 0}
+	case "random":
+		return laws.Budget{Crashes: f.max, Omissive: 0}
+	case "script":
+		return laws.Budget{Crashes: len(f.script), Omissive: 0}
+	case "randomomit":
+		return laws.Budget{Crashes: 0, Omissive: f.max}
+	case "omitscript":
+		return laws.Budget{Crashes: 0, Omissive: len(f.oscript)}
+	case "mixed":
+		return laws.Budget{Crashes: len(f.script), Omissive: len(f.oscript)}
+	case "fuzzscript":
+		return laws.Budget{Crashes: f.fscript.Crashes(), Omissive: f.fscript.OmissiveProcs()}
+	default: // "none" and the zero spec fault nobody
+		return laws.Budget{Crashes: 0, Omissive: 0}
+	}
+}
+
 // orderInsensitive reports whether the spec's adversary is a pure function
 // of (process, round). Cross-engine comparison requires it: the lockstep
 // runtime consults the adversary in goroutine scheduling order, so a
@@ -426,6 +452,11 @@ type Report struct {
 	Omissive map[int]int
 	// Counters holds communication costs.
 	Counters metrics.Counters
+	// Ledger is the delivery ledger of the run: the per-kind fate of every
+	// transmitted message, satisfying the conservation identity
+	// sent == delivered + recv-omitted + late + dead-dest + halted-dest
+	// (audited on every run by internal/laws).
+	Ledger metrics.Ledger
 	// SimTime is the measured completion time of the run in the latency
 	// model's time units; zero on round-abstraction engines. Cross-engine
 	// comparison excludes it: it prices the execution, it does not change

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fuzz"
 	"repro/internal/harness"
+	"repro/internal/laws"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -69,6 +70,13 @@ type FuzzConfig struct {
 	// CommitAsData fuzzes the commit-as-data ablation (CRW only): uniform
 	// agreement is expected to fall.
 	CommitAsData bool
+	// Laws additionally arms the standing law-audit oracle: every run must
+	// satisfy the per-run laws of internal/laws — message conservation,
+	// ledger/counter consistency, the event-clock contract, and the
+	// campaign's fault budget. A law violation is reported, replayed and
+	// shrunk exactly like a consensus violation, and classified by law name
+	// in FuzzFinding.Law.
+	Laws bool
 	// Shrink minimizes every violating schedule by delta debugging.
 	Shrink bool
 	// MaxShrinkRuns caps the shrinker's replay budget per finding
@@ -93,6 +101,12 @@ type FuzzFinding struct {
 	Seed int64
 	// Err is the violated property.
 	Err error
+	// Law is the name of the violated law when Err is a law violation from
+	// the FuzzConfig.Laws oracle (e.g. "conservation-data", "crash-budget"),
+	// and "" for consensus violations. It classifies the shrunk violation
+	// when shrinking ran (the class may shift while shrinking), the original
+	// otherwise.
+	Law string
 	// Script is the recorded crash schedule (agree.ReplayFaults format).
 	Script string
 	// Shrunk is the minimized script when FuzzConfig.Shrink was set; it
@@ -298,6 +312,15 @@ func Fuzz(cfg FuzzConfig) (*FuzzReport, error) {
 	if cfg.OmissionOnly {
 		genT = 0
 	}
+	if cfg.Laws {
+		// The generator enforces these budgets while recording, so any excess
+		// the audit observes was leaked by an engine, not injected by a walk.
+		omBudget := 0
+		if cfg.SendOmitProb > 0 || cfg.RecvOmitProb > 0 {
+			omBudget = cfg.MaxOmissive
+		}
+		oracle = fuzz.Oracles(oracle, fuzz.LawOracle(laws.Budget{Crashes: genT, Omissive: omBudget}))
+	}
 	opts := fuzz.Options{
 		Gen: fuzz.Gen{
 			T: genT, CrashProb: cfg.CrashProb,
@@ -355,6 +378,7 @@ func Fuzz(cfg FuzzConfig) (*FuzzReport, error) {
 		finding := FuzzFinding{
 			Seed:          out.Seed,
 			Err:           out.Err,
+			Law:           laws.Of(out.Err),
 			Script:        out.Script.String(),
 			CrossChecked:  slot.crossChecked,
 			CrossCheckErr: slot.crossErr,
@@ -362,6 +386,7 @@ func Fuzz(cfg FuzzConfig) (*FuzzReport, error) {
 		if out.Shrunk != nil {
 			finding.Shrunk = out.Shrunk.String()
 			finding.ShrunkErr = out.ShrunkErr
+			finding.Law = laws.Of(out.ShrunkErr)
 			finding.ShrunkCrashes = out.Shrunk.Crashes()
 			finding.ShrunkOmissions = out.Shrunk.Omissions()
 		}
@@ -383,6 +408,8 @@ type FuzzReplayReport struct {
 	// Err is the oracle verdict: nil when the run satisfies uniform
 	// consensus and the protocol's round bound.
 	Err error
+	// Law names the violated law when Err is a law violation ("" otherwise).
+	Law string
 	// Transcript is the execution trace when requested.
 	Transcript string
 }
@@ -429,6 +456,13 @@ func FuzzReplayScript(cfg FuzzConfig, script string, withTrace bool) (*FuzzRepla
 		// the crash-model round bounds do not apply to it.
 		oracle = fuzz.ConsensusOracle(nil)
 	}
+	if cfg.Laws {
+		// A replay injects exactly the script's faults, so the budget the
+		// audit holds the run to is the script's own footprint: anything the
+		// engine reports beyond it was leaked by the engine.
+		oracle = fuzz.Oracles(oracle,
+			fuzz.LawOracle(laws.Budget{Crashes: s.Crashes(), Omissive: s.OmissiveProcs()}))
+	}
 	rep := &FuzzReplayReport{
 		Rounds:      int(res.Rounds),
 		Decisions:   make(map[int]int64, len(res.Decisions)),
@@ -436,6 +470,7 @@ func FuzzReplayScript(cfg FuzzConfig, script string, withTrace bool) (*FuzzRepla
 		Crashed:     make(map[int]int, len(res.Crashed)),
 		Err:         oracle(tgt.Proposals, res, runErr),
 	}
+	rep.Law = laws.Of(rep.Err)
 	for id, v := range res.Decisions {
 		rep.Decisions[int(id)] = int64(v)
 		rep.DecideRound[int(id)] = int(res.DecideRound[id])
@@ -541,6 +576,9 @@ func diffResults(a, b *sim.Result) string {
 	}
 	if a.Counters != b.Counters {
 		return fmt.Sprintf("counters %s vs %s", a.Counters.String(), b.Counters.String())
+	}
+	if a.Ledger != b.Ledger {
+		return fmt.Sprintf("ledger %s vs %s", a.Ledger.String(), b.Ledger.String())
 	}
 	return ""
 }

@@ -1,0 +1,37 @@
+package agree
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzReportRoundTrip fuzzes the determinism law's serialization leg: any
+// byte string that deserializes into a Report must reserialize to the exact
+// bytes its first serialization produced. The seed corpus under
+// testdata/fuzz/FuzzReportRoundTrip holds reports captured from real runs of
+// all three engines (failure-free, coordinator crashes, early stopping with
+// crashed destinations, timed with omissions and a consensus error).
+func FuzzReportRoundTrip(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return // not a report; nothing to round-trip
+		}
+		j1, err := json.Marshal(&rep)
+		if err != nil {
+			t.Fatalf("report deserialized from %q does not serialize: %v", data, err)
+		}
+		var rep2 Report
+		if err := json.Unmarshal(j1, &rep2); err != nil {
+			t.Fatalf("serialized report does not deserialize: %v\n%s", err, j1)
+		}
+		j2, err := json.Marshal(&rep2)
+		if err != nil {
+			t.Fatalf("round-tripped report does not reserialize: %v", err)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("report changed across a JSON round-trip:\n%s\nvs\n%s", j1, j2)
+		}
+	})
+}

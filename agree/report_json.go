@@ -1,0 +1,135 @@
+package agree
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/laws"
+	"repro/internal/metrics"
+)
+
+// reportWire is the serialized form of a Report. It exists because Report
+// carries an error field (ConsensusErr), which encoding/json cannot round-trip
+// as an interface; on the wire it is the error string, "" meaning nil.
+// Everything else is integers, strings and integer-keyed maps, all of which
+// encoding/json serializes canonically (map keys are emitted in sorted
+// order), so the byte-identical determinism law is checkable on this format.
+type reportWire struct {
+	Rounds       int
+	MacroRounds  int
+	Decisions    map[int]int64 `json:",omitempty"`
+	DecideRound  map[int]int   `json:",omitempty"`
+	Crashed      map[int]int   `json:",omitempty"`
+	Omissive     map[int]int   `json:",omitempty"`
+	Counters     metrics.Counters
+	Ledger       metrics.Ledger
+	SimTime      float64
+	ConsensusErr string `json:",omitempty"`
+	Transcript   string `json:",omitempty"`
+	Diagram      string `json:",omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	w := reportWire{
+		Rounds:      r.Rounds,
+		MacroRounds: r.MacroRounds,
+		Decisions:   r.Decisions,
+		DecideRound: r.DecideRound,
+		Crashed:     r.Crashed,
+		Omissive:    r.Omissive,
+		Counters:    r.Counters,
+		Ledger:      r.Ledger,
+		SimTime:     r.SimTime,
+		Transcript:  r.Transcript,
+		Diagram:     r.Diagram,
+	}
+	if r.ConsensusErr != nil {
+		w.ConsensusErr = r.ConsensusErr.Error()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var w reportWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = Report{
+		Rounds:      w.Rounds,
+		MacroRounds: w.MacroRounds,
+		Decisions:   w.Decisions,
+		DecideRound: w.DecideRound,
+		Crashed:     w.Crashed,
+		Omissive:    w.Omissive,
+		Counters:    w.Counters,
+		Ledger:      w.Ledger,
+		SimTime:     w.SimTime,
+		Transcript:  w.Transcript,
+		Diagram:     w.Diagram,
+	}
+	if w.ConsensusErr != "" {
+		r.ConsensusErr = errors.New(w.ConsensusErr)
+	}
+	return nil
+}
+
+// VerifyDeterminism checks the determinism law for one configuration: two
+// independent executions must serialize to byte-identical reports, and the
+// serialized report must survive a JSON round-trip byte-identically. This is
+// deliberately stronger than field-by-field equality — it also pins the
+// serialization itself (a map rendered in nondeterministic order, or a float
+// that does not round-trip, breaks reproducible experiment snapshots even
+// when the in-memory reports compare equal).
+//
+// The law is checked here rather than on every run — re-running every
+// configuration twice would double the cost of every sweep and benchmark.
+// It requires an engine with the deterministic capability; campaigns on the
+// lockstep runtime cannot promise bit-identical runs and are rejected.
+func VerifyDeterminism(cfg Config) error {
+	engine := cfg.Engine
+	if engine == "" {
+		engine = EngineDeterministic
+	}
+	if caps, ok := harness.Lookup(harness.Kind(engine)); ok && !caps.Deterministic {
+		return fmt.Errorf("agree: engine %q makes no determinism promise; VerifyDeterminism requires a deterministic engine", engine)
+	}
+	first, err := Run(cfg)
+	if err != nil {
+		return err
+	}
+	second, err := Run(cfg)
+	if err != nil {
+		return fmt.Errorf("agree: re-run failed: %w", err)
+	}
+	ja, err := json.Marshal(first)
+	if err != nil {
+		return err
+	}
+	jb, err := json.Marshal(second)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(ja, jb) {
+		return &laws.Violation{Law: laws.LawDeterminism,
+			Detail: fmt.Sprintf("two runs of one configuration serialized differently:\n%s\nvs\n%s", ja, jb)}
+	}
+	var rt Report
+	if err := json.Unmarshal(ja, &rt); err != nil {
+		return &laws.Violation{Law: laws.LawDeterminism,
+			Detail: fmt.Sprintf("serialized report does not deserialize: %v", err)}
+	}
+	jrt, err := json.Marshal(&rt)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(ja, jrt) {
+		return &laws.Violation{Law: laws.LawDeterminism,
+			Detail: fmt.Sprintf("report changed across a JSON round-trip:\n%s\nvs\n%s", ja, jrt)}
+	}
+	return nil
+}

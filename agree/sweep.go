@@ -6,6 +6,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/diagram"
 	"repro/internal/harness"
+	"repro/internal/laws"
 	"repro/internal/metrics"
 	"repro/internal/simulate"
 	"repro/internal/trace"
@@ -158,6 +159,12 @@ func runConfig(cfg Config, cache *harness.Cache) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The engine adapter audited the budget-free laws; the fault budget is
+	// config knowledge the engines never see, so its law is audited here —
+	// the single wiring point every Run, Sweep and cross-check goes through.
+	if aerr := laws.AuditBudget(res, cfg.Faults.budget(cfg.N)); aerr != nil {
+		return nil, aerr
+	}
 
 	rep := &Report{
 		Rounds:       int(res.Rounds),
@@ -166,6 +173,7 @@ func runConfig(cfg Config, cache *harness.Cache) (*Report, error) {
 		DecideRound:  make(map[int]int, len(res.DecideRound)),
 		Crashed:      make(map[int]int, len(res.Crashed)),
 		Counters:     res.Counters,
+		Ledger:       res.Ledger,
 		SimTime:      res.SimTime,
 		ConsensusErr: check.Consensus(proposals, res),
 	}
@@ -290,6 +298,9 @@ func diffReports(a, b *Report) string {
 	}
 	if a.Counters != b.Counters {
 		return fmt.Sprintf("counters %s vs %s", a.Counters.String(), b.Counters.String())
+	}
+	if a.Ledger != b.Ledger {
+		return fmt.Sprintf("ledger %s vs %s", a.Ledger.String(), b.Ledger.String())
 	}
 	if (a.ConsensusErr == nil) != (b.ConsensusErr == nil) {
 		return fmt.Sprintf("consensus verdict %v vs %v", a.ConsensusErr, b.ConsensusErr)

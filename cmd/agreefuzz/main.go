@@ -15,6 +15,8 @@
 //	agreefuzz -n 3 -replay 'p1@r1:so:01/11'             # replay an omission script
 //	agreefuzz -n 12 -engine timed -seeds 5000 -crosscheck      # campaign on continuous time,
 //	                                                    # findings replayed on every engine
+//	agreefuzz -n 16 -seeds 100000 -laws                 # law hunt: conservation, ledger, clock and
+//	                                                    # budget oracles stand next to the consensus oracle
 //	agreefuzz -n 8 -engine timed -lat-d 1 -lat-floor 0.5 -lat-spread 2 -expect-findings
 //	                                                    # timing-fault campaign: late messages
 //	                                                    # (receive omissions) break agreement
@@ -53,6 +55,7 @@ func run() int {
 		recvOmit     = flag.Float64("recv-omit-prob", 0, "per-(process, round) receive-omission probability")
 		maxOmissive  = flag.Int("max-omissive", 0, "max distinct omission-faulty processes per execution (0 = n-1)")
 		omitOnly     = flag.Bool("omission-only", false, "disable crash injection (pure omission campaign)")
+		huntLaws     = flag.Bool("laws", false, "add the law oracles: every run must also satisfy message conservation, ledger consistency, the event-clock contract and the fault budget")
 		expectFind   = flag.Bool("expect-findings", false, "invert the verdict: the campaign passes when it finds (and cleanly replays) at least one violation — for ablations where the paper predicts the break")
 		findingsOut  = flag.String("findings-out", "", "write the findings' replay scripts to this file, one per line")
 		engine       = flag.String("engine", "deterministic", "engine the campaign runs on (must be deterministic; timed enables -lat-* knobs)")
@@ -77,7 +80,7 @@ func run() int {
 		Seeds: *seeds, Seed: *seed0, CrashProb: *crashProb,
 		SendOmitProb: *sendOmit, RecvOmitProb: *recvOmit,
 		MaxOmissive: *maxOmissive, OmissionOnly: *omitOnly,
-		CommitAsData: *commitAsData, Shrink: *shrink, MaxShrinkRuns: *shrinkRuns,
+		CommitAsData: *commitAsData, Laws: *huntLaws, Shrink: *shrink, MaxShrinkRuns: *shrinkRuns,
 		Workers: *workers, CrossCheck: *crossCheck,
 	}
 	switch *order {
@@ -109,6 +112,9 @@ func run() int {
 		fmt.Printf("omissions     send-prob=%g recv-prob=%g max-omissive=%d omission-only=%t (oracle: consensus only — round bounds are crash-model theorems)\n",
 			*sendOmit, *recvOmit, eff, *omitOnly)
 	}
+	if *huntLaws {
+		fmt.Println("laws          conservation, ledger consistency, clock and fault-budget oracles standing")
+	}
 	fmt.Printf("executions    %d (incl. replay verification%s)\n", rep.Executions, shrinkNote(*shrink, *crossCheck))
 	fmt.Printf("max faults    %d crashes, %d omission-faulty\n", rep.MaxFaults, rep.MaxOmissionFaulty)
 	fmt.Printf("max decide    round %d\n", rep.MaxDecideRound)
@@ -138,7 +144,11 @@ func run() int {
 	}
 
 	if len(rep.Findings) == 0 {
-		fmt.Println("findings      none — every sampled schedule satisfies the consensus oracles")
+		oracles := "the consensus oracles"
+		if *huntLaws {
+			oracles = "the consensus and law oracles"
+		}
+		fmt.Printf("findings      none — every sampled schedule satisfies %s\n", oracles)
 		if *expectFind {
 			fmt.Println("VERDICT: FAIL — the campaign was expected to find a violation (-expect-findings) and did not")
 			return 2
@@ -147,7 +157,11 @@ func run() int {
 	}
 	fmt.Printf("findings      %d\n", len(rep.Findings))
 	for i, f := range rep.Findings {
-		fmt.Printf("  [%d] seed %d: %v\n", i+1, f.Seed, f.Err)
+		class := ""
+		if f.Law != "" {
+			class = fmt.Sprintf(" [law %s]", f.Law)
+		}
+		fmt.Printf("  [%d] seed %d%s: %v\n", i+1, f.Seed, class, f.Err)
 		fmt.Printf("      script %q\n", f.Script)
 		if f.Shrunk != "" || f.ShrunkErr != nil {
 			fmt.Printf("      shrunk %q (%d crash + %d omission events): %v\n",
@@ -242,9 +256,17 @@ func replayScript(cfg agree.FuzzConfig, text string) int {
 	fmt.Printf("decisions %v (rounds %v), crashed %v, omissive %v\n",
 		rep.Decisions, rep.DecideRound, rep.Crashed, rep.Omissive)
 	if rep.Err != nil {
-		fmt.Printf("VERDICT: %v\n", rep.Err)
+		if rep.Law != "" {
+			fmt.Printf("VERDICT: [law %s] %v\n", rep.Law, rep.Err)
+		} else {
+			fmt.Printf("VERDICT: %v\n", rep.Err)
+		}
 		return 2
 	}
-	fmt.Println("VERDICT: uniform consensus and the round bound hold")
+	verdict := "uniform consensus and the round bound hold"
+	if cfg.Laws {
+		verdict += "; all laws hold"
+	}
+	fmt.Println("VERDICT: " + verdict)
 	return 0
 }

@@ -122,6 +122,7 @@ func main() {
 	fmt.Printf("rounds      %d (last decision at round %d)\n", rep.MacroRounds, rep.MaxDecideRound())
 	fmt.Printf("decisions   %v\n", rep.Decisions)
 	fmt.Printf("traffic     %s\n", rep.Counters.String())
+	fmt.Printf("ledger      %s (conservation audited)\n", rep.Ledger.String())
 	if rep.SimTime > 0 {
 		fmt.Printf("simtime     %g (measured on the event clock)\n", rep.SimTime)
 	}

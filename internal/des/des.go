@@ -12,6 +12,7 @@ package des
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 )
 
@@ -23,9 +24,17 @@ type Time float64
 const Infinity Time = Time(math.MaxFloat64)
 
 // event is one scheduled callback.
+//
+// seq is the heap tie-break key; ord is the ground-truth scheduling order.
+// They are normally identical, but the order audit must not trust the key the
+// heap sorts by (a detector comparing the heap against its own key can never
+// fire), so violations are detected against ord. The LIFOTies test hook
+// mangles only seq, leaving ord truthful — which is exactly what makes the
+// planted reordering observable.
 type event struct {
 	at  Time
 	seq uint64
+	ord uint64
 	fn  func()
 }
 
@@ -58,6 +67,23 @@ type Sim struct {
 	stopped   bool
 	steps     int
 	cancelled int // cancelled events still sitting in the heap
+
+	// Audit bookkeeping (see Audit): every event ever scheduled must be
+	// accounted for as executed, still pending, or cancelled.
+	scheduled     int
+	cancelledEver int
+	// Order audit: the (time, scheduling order) of the last executed event,
+	// and the first recorded violation of the execution contract.
+	lastAt         Time
+	lastOrd        uint64
+	orderViolation string
+
+	// LIFOTies is a law-audit test hook: when set, newly scheduled events get
+	// a tie-break key that reverses FIFO order among same-time events (ties
+	// pop LIFO) while their ground-truth scheduling order stays truthful. A
+	// run with simultaneous events then violates the FIFO tie contract, which
+	// Audit must detect. Never set outside tests.
+	LIFOTies bool
 }
 
 // Handle refers to a scheduled event and can cancel it before it fires. The
@@ -78,6 +104,7 @@ func (h Handle) Cancel() bool {
 	}
 	h.e.fn = nil
 	h.s.cancelled++
+	h.s.cancelledEver++
 	return true
 }
 
@@ -95,8 +122,13 @@ func (s *Sim) At(t Time, fn func()) Handle {
 		t = s.now
 	}
 	s.seq++
-	e := &event{at: t, seq: s.seq, fn: fn}
+	key := s.seq
+	if s.LIFOTies {
+		key = math.MaxUint64 - s.seq
+	}
+	e := &event{at: t, seq: key, ord: s.seq, fn: fn}
 	heap.Push(&s.queue, e)
+	s.scheduled++
 	return Handle{s: s, e: e}
 }
 
@@ -124,6 +156,23 @@ func (s *Sim) Run(until Time) Time {
 			break
 		}
 		heap.Pop(&s.queue)
+		// Execution-order contract, checked against the ground-truth
+		// scheduling order rather than the heap's own tie-break key: time
+		// never rewinds, and same-time events run in scheduling (FIFO) order.
+		// Only the first violation is recorded; the clean path is
+		// allocation-free.
+		if s.orderViolation == "" {
+			if next.at < s.lastAt {
+				s.orderViolation = fmt.Sprintf(
+					"des: clock went backwards: event at t=%v after t=%v", next.at, s.lastAt)
+			} else if next.at == s.lastAt && next.ord < s.lastOrd {
+				s.orderViolation = fmt.Sprintf(
+					"des: FIFO tie order violated at t=%v: event #%d ran after #%d",
+					next.at, next.ord, s.lastOrd)
+			}
+		}
+		s.lastAt = next.at
+		s.lastOrd = next.ord
 		s.now = next.at
 		s.steps++
 		fn := next.fn
@@ -139,3 +188,25 @@ func (s *Sim) Run(until Time) Time {
 // Pending returns the number of events still scheduled to run (cancelled
 // events awaiting lazy removal are excluded).
 func (s *Sim) Pending() int { return len(s.queue) - s.cancelled }
+
+// Audit checks the simulation's execution-order contract and event
+// bookkeeping after (or during) a run:
+//
+//   - the simulated clock never went backwards and same-time events executed
+//     in scheduling (FIFO) order, judged against the ground-truth scheduling
+//     sequence, not the heap's tie-break key;
+//   - every event ever scheduled is accounted for exactly once:
+//     scheduled == executed + pending + cancelled.
+//
+// It returns nil on a clean run (no allocation) and a descriptive error for
+// the first violation observed.
+func (s *Sim) Audit() error {
+	if s.orderViolation != "" {
+		return fmt.Errorf("%s", s.orderViolation)
+	}
+	if s.scheduled != s.steps+s.Pending()+s.cancelledEver {
+		return fmt.Errorf("des: event bookkeeping leak: scheduled %d != executed %d + pending %d + cancelled %d",
+			s.scheduled, s.steps, s.Pending(), s.cancelledEver)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package des_test
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -205,6 +206,10 @@ func TestExecutionOrderProperty(t *testing.T) {
 			t.Logf("seed %d: Pending %d after drain", seed, s.Pending())
 			return false
 		}
+		if err := s.Audit(); err != nil {
+			t.Logf("seed %d: Audit: %v", seed, err)
+			return false
+		}
 		return true
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
@@ -217,6 +222,70 @@ func maxTime(a, b des.Time) des.Time {
 		return a
 	}
 	return b
+}
+
+// TestAuditCleanRuns pins the checked invariant on well-behaved schedules:
+// after any mix of execution, cancellation and an early horizon, Audit
+// reports clean books.
+func TestAuditCleanRuns(t *testing.T) {
+	var s des.Sim
+	s.At(1, func() {})
+	s.At(2, func() { s.After(1, func() {}) })
+	h := s.At(4, func() {})
+	s.At(5, func() {})
+	h.Cancel()
+	s.Run(3) // t=5 event still pending
+	if err := s.Audit(); err != nil {
+		t.Fatalf("Audit mid-run: %v", err)
+	}
+	s.Run(des.Infinity)
+	if err := s.Audit(); err != nil {
+		t.Fatalf("Audit after drain: %v", err)
+	}
+}
+
+// TestAuditCatchesLIFOTies plants the FIFO-tie mutation: LIFOTies mangles the
+// heap's tie-break key while the ground-truth scheduling order stays honest,
+// so the order detector must report the first same-time pair that executed in
+// reverse scheduling order.
+func TestAuditCatchesLIFOTies(t *testing.T) {
+	var s des.Sim
+	s.LIFOTies = true
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		s.At(7, func() { order = append(order, i) })
+	}
+	s.Run(des.Infinity)
+	if order[0] == 0 {
+		t.Fatalf("LIFOTies mutation did not reorder ties: %v", order)
+	}
+	err := s.Audit()
+	if err == nil {
+		t.Fatal("Audit passed a LIFO tie order")
+	}
+	if got := err.Error(); !strings.Contains(got, "FIFO tie order violated") {
+		t.Errorf("Audit error = %q, want FIFO tie violation", got)
+	}
+}
+
+// TestAuditCatchesLIFOTiesUnderProperty re-runs the random-interleaving
+// property with the mutation planted: any seed that produces at least one
+// same-time pair must be flagged by Audit.
+func TestAuditCatchesLIFOTiesUnderProperty(t *testing.T) {
+	var s des.Sim
+	s.LIFOTies = true
+	rng := rand.New(rand.NewSource(42))
+	ties := 0
+	for i := 0; i < 50; i++ {
+		t := des.Time(rng.Intn(10)) // small range forces ties
+		s.At(t, func() {})
+		s.At(t, func() { ties++ })
+	}
+	s.Run(des.Infinity)
+	if err := s.Audit(); err == nil {
+		t.Fatal("Audit passed despite mangled tie keys")
+	}
 }
 
 // TestCancelSemantics pins the Handle contract directly: double cancel,

@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"repro/internal/check"
+	"repro/internal/laws"
 	"repro/internal/sim"
 )
 
@@ -21,6 +22,38 @@ func ConsensusOracle(bound func(f int) sim.Round) Oracle {
 		}
 		if bound != nil {
 			return check.RoundBound(res, bound)
+		}
+		return nil
+	}
+}
+
+// LawOracle is the standing law-audit oracle: every successfully finished
+// run must satisfy the per-run laws of internal/laws — message conservation,
+// ledger/counter consistency, the event-clock contract, and the given fault
+// budget. Engine errors pass through untouched (a partial run is legitimately
+// unbalanced; the consensus oracle owns run errors), so LawOracle composes
+// with ConsensusOracle via Oracles without double-reporting.
+//
+// A violation found by this oracle replays and shrinks exactly like a
+// consensus violation: laws are pure functions of the run's result, and the
+// result is a deterministic function of the script.
+func LawOracle(b laws.Budget) Oracle {
+	return func(_ []sim.Value, res *sim.Result, runErr error) error {
+		if runErr != nil {
+			return nil
+		}
+		return laws.AuditAll(res, b)
+	}
+}
+
+// Oracles combines several oracles into one: each is consulted in order and
+// the first violation wins.
+func Oracles(oracles ...Oracle) Oracle {
+	return func(proposals []sim.Value, res *sim.Result, runErr error) error {
+		for _, o := range oracles {
+			if err := o(proposals, res, runErr); err != nil {
+				return err
+			}
 		}
 		return nil
 	}

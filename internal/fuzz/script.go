@@ -173,6 +173,18 @@ func (s Script) Crashes() int {
 // Omissions returns the number of omission events (send and receive).
 func (s Script) Omissions() int { return len(s.Events) - s.Crashes() }
 
+// OmissiveProcs returns the number of distinct processes with at least one
+// omission event — the omission-fault budget a replay of the script spends.
+func (s Script) OmissiveProcs() int {
+	procs := map[int]bool{}
+	for _, e := range s.Events {
+		if e.Kind != EventCrash {
+			procs[e.Proc] = true
+		}
+	}
+	return len(procs)
+}
+
 // Clone returns a deep copy, safe to mutate independently.
 func (s Script) Clone() Script {
 	out := Script{Events: make([]Event, len(s.Events))}

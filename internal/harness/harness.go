@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/laws"
 	"repro/internal/sim"
 	"repro/internal/timed"
 	"repro/internal/trace"
@@ -84,6 +85,23 @@ type Engine interface {
 	// is freshly allocated and safe to retain; internal buffers may be
 	// recycled by the next Run.
 	Run(Job) (*sim.Result, error)
+}
+
+// audited applies the budget-free law audit (internal/laws) to an engine
+// run's outcome: every successfully finished run leaving any adapter must
+// satisfy message conservation and the event-clock contract. Runs that ended
+// in an engine error are legitimately partial and pass through unaudited.
+// Every adapter's Run returns through this function, so no execution —
+// whether reached via agree.Run, a sweep, a cross-check, or a fuzz campaign —
+// escapes the audit.
+func audited(res *sim.Result, err error) (*sim.Result, error) {
+	if err != nil {
+		return res, err
+	}
+	if aerr := laws.Audit(res); aerr != nil {
+		return res, aerr
+	}
+	return res, nil
 }
 
 // entry is one registered engine factory with its advertised capabilities.

@@ -37,5 +37,5 @@ func (lockstepEngine) Run(job Job) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return rt.Run()
+	return audited(rt.Run())
 }

@@ -53,5 +53,5 @@ func (e *simEngine) Run(job Job) (*sim.Result, error) {
 		}
 		e.eng, e.model, e.horizon, e.tr = eng, job.Model, job.Horizon, job.Trace
 	}
-	return e.eng.Run()
+	return audited(e.eng.Run())
 }

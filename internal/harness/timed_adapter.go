@@ -38,5 +38,5 @@ func (timedEngine) Run(job Job) (*sim.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run()
+	return audited(eng.Run())
 }

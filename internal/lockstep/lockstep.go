@@ -72,6 +72,7 @@ type recvReport struct {
 	value   sim.Value
 	halted  bool
 	ctr     metrics.Counters // receive-omission accounting
+	led     metrics.Ledger   // delivery-ledger slice of this receive phase
 }
 
 // worker is the per-process goroutine state.
@@ -230,12 +231,16 @@ func (rt *Runtime) run(w *worker) {
 			for _, m := range inbox {
 				if i := int(m.From) - 1; i < len(om.Recv) && !om.Recv[i] {
 					rrep.ctr.OmittedRecv++
+					rrep.led.RecvOmitted(m.Kind == sim.Control)
 					continue
 				}
 				inbox[w2] = m
 				w2++
 			}
 			inbox = inbox[:w2]
+		}
+		for _, m := range inbox {
+			rrep.led.Delivered(m.Kind == sim.Control)
 		}
 		sim.SortInbox(inbox)
 		w.proc.Receive(r, inbox)
@@ -365,6 +370,7 @@ func (rt *Runtime) Run() (*sim.Result, error) {
 		for _, w := range receivers {
 			rep := <-w.done
 			res.Counters.Merge(rep.ctr)
+			res.Ledger.Merge(rep.led)
 			if rep.decided {
 				if _, seen := res.Decisions[rep.id]; !seen {
 					res.Decisions[rep.id] = rep.value
@@ -376,10 +382,18 @@ func (rt *Runtime) Run() (*sim.Result, error) {
 			}
 		}
 		// Drain channels of processes that died or halted so capacity-2
-		// buffers can never block a future sender.
+		// buffers can never block a future sender. The drained messages were
+		// transmitted but never consumed; the ledger records their fate by
+		// destination state (crashed vs halted).
 		for id, a := range alive {
 			if !a || halted[id] {
-				rt.drain(id)
+				for _, m := range rt.drain(id) {
+					if !a {
+						res.Ledger.DeadDest(m.Kind == sim.Control)
+					} else {
+						res.Ledger.HaltedDest(m.Kind == sim.Control)
+					}
+				}
 			}
 		}
 		if len(active()) == 0 {

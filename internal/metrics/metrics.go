@@ -87,6 +87,124 @@ func (c *Counters) Merge(other Counters) {
 	c.Rounds += other.Rounds
 }
 
+// Ledger is the per-kind delivery ledger backing the message-conservation
+// law (internal/laws): every transmitted message — already counted in
+// Counters.DataMsgs/CtrlMsgs — must end up in exactly one of the sinks below,
+// per kind:
+//
+//	sent == delivered + recv-omitted + late + dead-dest + halted-dest
+//
+// The engines increment the sink counters at the point a message's fate is
+// decided: Delivered* when it enters a receiver's sorted inbox for the
+// compute phase, RecvOmit* when an adversarial receive omission suppresses
+// it, Late* when its sampled latency misses the synchrony bound (timed
+// engine only), DeadDest* when its destination has crashed (before arrival
+// or during the same round), and HaltedDest* when its destination has halted
+// (decided and returned — alive, but nobody is consuming).
+//
+// All fields are plain integers — no maps, no pointers — so the ledger rides
+// the engines' zero-allocation hot paths and results stay comparable with ==.
+// The zero value is ready to use.
+type Ledger struct {
+	// DeliveredData/DeliveredCtrl count messages that reached a receiver's
+	// compute phase (after receive-omission filtering).
+	DeliveredData int
+	DeliveredCtrl int
+	// RecvOmitData/RecvOmitCtrl split Counters.OmittedRecv by kind.
+	RecvOmitData int
+	RecvOmitCtrl int
+	// LateData/LateCtrl split Counters.Late by kind (timed engine only).
+	LateData int
+	LateCtrl int
+	// DeadDestData/DeadDestCtrl count transmitted messages that vanished
+	// because their destination crashed (before arrival, or during the round
+	// of transmission).
+	DeadDestData int
+	DeadDestCtrl int
+	// HaltedDestData/HaltedDestCtrl count transmitted messages discarded
+	// because their destination had halted.
+	HaltedDestData int
+	HaltedDestCtrl int
+}
+
+// Delivered counts one message entering a receiver's compute phase.
+func (l *Ledger) Delivered(ctrl bool) {
+	if ctrl {
+		l.DeliveredCtrl++
+	} else {
+		l.DeliveredData++
+	}
+}
+
+// RecvOmitted counts one message suppressed by a receive-omission fault.
+func (l *Ledger) RecvOmitted(ctrl bool) {
+	if ctrl {
+		l.RecvOmitCtrl++
+	} else {
+		l.RecvOmitData++
+	}
+}
+
+// Late counts one timing-faulted message (timed engine).
+func (l *Ledger) Late(ctrl bool) {
+	if ctrl {
+		l.LateCtrl++
+	} else {
+		l.LateData++
+	}
+}
+
+// DeadDest counts one message whose destination has crashed.
+func (l *Ledger) DeadDest(ctrl bool) {
+	if ctrl {
+		l.DeadDestCtrl++
+	} else {
+		l.DeadDestData++
+	}
+}
+
+// HaltedDest counts one message whose destination has halted.
+func (l *Ledger) HaltedDest(ctrl bool) {
+	if ctrl {
+		l.HaltedDestCtrl++
+	} else {
+		l.HaltedDestData++
+	}
+}
+
+// Merge adds the counts of other into l.
+func (l *Ledger) Merge(other Ledger) {
+	l.DeliveredData += other.DeliveredData
+	l.DeliveredCtrl += other.DeliveredCtrl
+	l.RecvOmitData += other.RecvOmitData
+	l.RecvOmitCtrl += other.RecvOmitCtrl
+	l.LateData += other.LateData
+	l.LateCtrl += other.LateCtrl
+	l.DeadDestData += other.DeadDestData
+	l.DeadDestCtrl += other.DeadDestCtrl
+	l.HaltedDestData += other.HaltedDestData
+	l.HaltedDestCtrl += other.HaltedDestCtrl
+}
+
+// SinkData returns the total data-message sink count — the right-hand side of
+// the conservation identity for the data kind.
+func (l *Ledger) SinkData() int {
+	return l.DeliveredData + l.RecvOmitData + l.LateData + l.DeadDestData + l.HaltedDestData
+}
+
+// SinkCtrl returns the total control-message sink count.
+func (l *Ledger) SinkCtrl() int {
+	return l.DeliveredCtrl + l.RecvOmitCtrl + l.LateCtrl + l.DeadDestCtrl + l.HaltedDestCtrl
+}
+
+// String renders the ledger in a compact single-line form.
+func (l *Ledger) String() string {
+	return fmt.Sprintf("delivered=%d/%d recv-omit=%d/%d late=%d/%d dead-dest=%d/%d halted-dest=%d/%d",
+		l.DeliveredData, l.DeliveredCtrl, l.RecvOmitData, l.RecvOmitCtrl,
+		l.LateData, l.LateCtrl, l.DeadDestData, l.DeadDestCtrl,
+		l.HaltedDestData, l.HaltedDestCtrl)
+}
+
 // String renders the counters in a compact single-line form. The omission
 // counters appear only when an omission fault actually fired, so the common
 // crash-model output is unchanged.

@@ -63,6 +63,17 @@ type Result struct {
 	Omissive map[ProcID]int
 	// Counters holds the communication cost of the run.
 	Counters metrics.Counters
+	// Ledger records the fate of every transmitted message, per kind, backing
+	// the conservation law checked by internal/laws: for each kind,
+	// transmitted == delivered + receive-omitted + late + dead-destination +
+	// halted-destination.
+	Ledger metrics.Ledger
+	// ClockViolation is a description of the first simulated-clock ordering
+	// or bookkeeping violation detected by the engine's event core, or "" on
+	// a clean run. Only continuous-time engines (internal/timed, via
+	// des.Sim.Audit) can set it; round-abstraction engines always leave it
+	// empty.
+	ClockViolation string
 	// SimTime is the simulated wall-clock completion time of the run, in the
 	// time units of the engine's latency model. Only continuous-time engines
 	// (internal/timed) set it; the round-abstraction engines leave it zero.
@@ -139,6 +150,7 @@ type Engine struct {
 	nDecided      int
 	nCrashed      int
 	ctr           metrics.Counters
+	led           metrics.Ledger
 }
 
 // inboxSeedCap is the per-process inbox capacity carved out of the flat
@@ -238,6 +250,7 @@ func (e *Engine) Reset(procs []Process, adv Adversary) error {
 	e.nDecided = 0
 	e.nCrashed = 0
 	e.ctr = metrics.Counters{}
+	e.led = metrics.Ledger{}
 	return nil
 }
 
@@ -275,6 +288,7 @@ func (e *Engine) Run() (*Result, error) {
 		DecideRound: make(map[ProcID]Round, e.nDecided),
 		Crashed:     make(map[ProcID]Round, e.nCrashed),
 		Counters:    e.ctr,
+		Ledger:      e.led,
 	}
 	for i := range e.procs {
 		id := ProcID(i + 1)
@@ -371,6 +385,9 @@ func (e *Engine) round(r Round) error {
 		if e.halted[i] {
 			// A halted process stays alive but silent; anything queued for it
 			// is discarded so its buffer does not grow round over round.
+			for _, m := range e.inbox[i] {
+				e.led.HaltedDest(m.Kind == Control)
+			}
 			e.inbox[i] = e.inbox[i][:0]
 			continue
 		}
@@ -378,6 +395,9 @@ func (e *Engine) round(r Round) error {
 		e.inbox[i] = in[:0] // recycle the buffer for the next round
 		if i < len(e.recvOmit) && e.recvOmit[i] != nil {
 			in = e.applyRecvOmission(in, e.recvOmit[i], r)
+		}
+		for _, m := range in {
+			e.led.Delivered(m.Kind == Control)
 		}
 		SortInbox(in)
 		p.Receive(r, in)
@@ -409,6 +429,9 @@ func (e *Engine) round(r Round) error {
 	// Messages addressed to processes that crashed this round are dropped.
 	for i, c := range e.crashedNow {
 		if c {
+			for _, m := range e.inbox[i] {
+				e.led.DeadDest(m.Kind == Control)
+			}
 			e.inbox[i] = e.inbox[i][:0]
 		}
 	}
@@ -471,6 +494,7 @@ func (e *Engine) applyRecvOmission(in []Message, mask []bool, r Round) []Message
 	for _, m := range in {
 		if i := int(m.From) - 1; i < len(mask) && !mask[i] {
 			e.ctr.OmittedRecv++
+			e.led.RecvOmitted(m.Kind == Control)
 			if e.cfg.Trace.Enabled() {
 				e.cfg.Trace.Add(trace.Event{Round: int(r), Kind: trace.KindDrop,
 					From: int(m.From), To: int(m.To), Detail: m.Kind.String() + " (receive omission)"})
@@ -523,6 +547,7 @@ func (e *Engine) deliver(m Message) {
 	}
 	i := int(m.To) - 1
 	if !e.alive[i] {
+		e.led.DeadDest(m.Kind == Control)
 		return
 	}
 	e.inbox[i] = append(e.inbox[i], m)

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/consensus/earlystop"
 	"repro/internal/core"
+	"repro/internal/laws"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -67,6 +68,11 @@ type Result struct {
 	TotalRounds int
 	// Counters accumulates communication over all slots.
 	Counters metrics.Counters
+	// Ledger accumulates the per-slot delivery ledgers, so the message
+	// conservation law holds end-to-end over the whole log: every message any
+	// slot's instance transmitted is in exactly one sink, even as crashes
+	// persist across slot boundaries.
+	Ledger metrics.Ledger
 	// Crashed maps dead replicas to the slot they died in.
 	Crashed map[sim.ProcID]int
 }
@@ -175,6 +181,12 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return res, fmt.Errorf("smr: slot %d: %w", slot, err)
 		}
+		// Audit the slot's books before trusting its outcome: conservation
+		// within the instance, and a crash budget of exactly the replicas
+		// dead or dying this slot (the slot adversary may spend no more).
+		if aerr := laws.AuditAll(out, laws.Budget{Crashes: len(dead) + len(killNow), Omissive: 0}); aerr != nil {
+			return res, fmt.Errorf("smr: slot %d: %w", slot, aerr)
+		}
 
 		// Validate slot agreement and append to logs.
 		var committed sim.Value
@@ -197,6 +209,7 @@ func Run(cfg Config) (*Result, error) {
 		res.RoundsPerSlot = append(res.RoundsPerSlot, out.Rounds)
 		res.TotalRounds += int(out.Rounds)
 		res.Counters.Merge(out.Counters)
+		res.Ledger.Merge(out.Ledger)
 
 		for id := range killNow {
 			dead[id] = true

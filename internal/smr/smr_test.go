@@ -191,3 +191,36 @@ func TestRotateLeaderUnderCascadingCrashes(t *testing.T) {
 		}
 	}
 }
+
+// TestCrossSlotConservation pins the conservation identity on the aggregated
+// log-level ledger: with crashes persisting across slots (a replica that dies
+// in slot s is dead for every later instance), every message any slot
+// transmitted must still land in exactly one sink — crashes at slot
+// boundaries must not leak messages from the books.
+func TestCrossSlotConservation(t *testing.T) {
+	configs := []smr.Config{
+		{N: 5, Slots: 6},
+		{N: 5, Slots: 6, CrashDuringSlot: map[sim.ProcID]int{1: 2, 3: 4}},
+		{N: 5, Slots: 6, Protocol: smr.ProtocolEarlyStop, CrashDuringSlot: map[sim.ProcID]int{2: 1}},
+		{N: 6, Slots: 8, RotateLeader: true, CrashDuringSlot: map[sim.ProcID]int{1: 1, 2: 3, 3: 5}},
+	}
+	for _, cfg := range configs {
+		res, err := smr.Run(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		l, c := &res.Ledger, &res.Counters
+		if got := l.SinkData(); got != c.DataMsgs {
+			t.Errorf("%+v: %d data messages transmitted, sinks account for %d (%s)",
+				cfg, c.DataMsgs, got, l.String())
+		}
+		if got := l.SinkCtrl(); got != c.CtrlMsgs {
+			t.Errorf("%+v: %d control messages transmitted, sinks account for %d (%s)",
+				cfg, c.CtrlMsgs, got, l.String())
+		}
+		// Crash-model log: nothing may land in the omission or late sinks.
+		if l.RecvOmitData+l.RecvOmitCtrl+l.LateData+l.LateCtrl != 0 {
+			t.Errorf("%+v: omission/late sinks non-zero in the crash model: %s", cfg, l.String())
+		}
+	}
+}

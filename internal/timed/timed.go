@@ -80,6 +80,7 @@ type Engine struct {
 	nDecided      int
 	nCrashed      int
 	ctr           metrics.Counters
+	led           metrics.Ledger
 
 	ds     des.Sim
 	rounds sim.Round
@@ -154,7 +155,11 @@ func (e *Engine) Run() (*sim.Result, error) {
 		DecideRound: make(map[sim.ProcID]sim.Round, e.nDecided),
 		Crashed:     make(map[sim.ProcID]sim.Round, e.nCrashed),
 		Counters:    e.ctr,
+		Ledger:      e.led,
 		SimTime:     float64(e.ds.Now()),
+	}
+	if err := e.ds.Audit(); err != nil {
+		res.ClockViolation = err.Error()
 	}
 	for i := range e.procs {
 		id := sim.ProcID(i + 1)
@@ -332,6 +337,7 @@ func (e *Engine) send(m sim.Message) {
 	}
 	if lat > bound {
 		e.ctr.Late++
+		e.led.Late(m.Kind == sim.Control)
 		e.traceDrop(m.Round, m.From, m.To, fmt.Sprintf("%s late (lat %g > bound %g; timing fault -> receive omission)",
 			m.Kind, float64(lat), float64(bound)))
 		return
@@ -348,6 +354,11 @@ func (e *Engine) arrive(m sim.Message) {
 		// Crashed: nobody is there. Halted: alive but returned — the round
 		// engines discard its deliveries at the receive phase; with no
 		// receive timer scheduled for it, the discard happens here instead.
+		if !e.alive[i] {
+			e.led.DeadDest(m.Kind == sim.Control)
+		} else {
+			e.led.HaltedDest(m.Kind == sim.Control)
+		}
 		return
 	}
 	e.inbox[i] = append(e.inbox[i], m)
@@ -365,12 +376,18 @@ func (e *Engine) receive(p sim.Process, r sim.Round) {
 	id := p.ID()
 	i := int(id) - 1
 	if !e.alive[i] {
+		for _, m := range e.inbox[i] {
+			e.led.DeadDest(m.Kind == sim.Control)
+		}
 		e.inbox[i] = e.inbox[i][:0]
 		return
 	}
 	if e.halted[i] {
 		// A halted process stays alive but silent; anything delivered to it
 		// is discarded.
+		for _, m := range e.inbox[i] {
+			e.led.HaltedDest(m.Kind == sim.Control)
+		}
 		e.inbox[i] = e.inbox[i][:0]
 		return
 	}
@@ -378,6 +395,9 @@ func (e *Engine) receive(p sim.Process, r sim.Round) {
 	e.inbox[i] = in[:0]
 	if i < len(e.recvOmit) && e.recvOmit[i] != nil {
 		in = e.applyRecvOmission(in, e.recvOmit[i], r)
+	}
+	for _, m := range in {
+		e.led.Delivered(m.Kind == sim.Control)
 	}
 	sim.SortInbox(in)
 	p.Receive(r, in)
@@ -413,6 +433,7 @@ func (e *Engine) applyRecvOmission(in []sim.Message, mask []bool, r sim.Round) [
 	for _, m := range in {
 		if i := int(m.From) - 1; i < len(mask) && !mask[i] {
 			e.ctr.OmittedRecv++
+			e.led.RecvOmitted(m.Kind == sim.Control)
 			e.traceDrop(r, m.From, m.To, m.Kind.String()+" (receive omission)")
 			continue
 		}

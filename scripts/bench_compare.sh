@@ -39,7 +39,10 @@ pattern="${PATTERN:-^(BenchmarkE[0-9]+|BenchmarkExploreParallel|BenchmarkSweep|B
 
 # Benchmarks whose allocs/op must match the baseline exactly: the
 # single-threaded deterministic hot paths the zero-alloc work of PR 1 pinned.
-zero_alloc_re='^Benchmark(E1FailureFree|E1RoundsVsFaults|E5Exhaustive|DeterministicEngine)$'
+# The law audit (delivery ledger + post-run checks) rides these paths, so a
+# regression here means the audit started allocating — the ledger must stay
+# plain counters, never maps.
+zero_alloc_re='^Benchmark(E1FailureFree|E1RoundsVsFaults|E4EarlyStop|E4FloodSet|E5Exhaustive|DeterministicEngine)$'
 # Benchmarks excluded from the alloc gate: worker pools scale with
 # GOMAXPROCS, randomized averages scale with the iteration count.
 skip_alloc_re='(ExploreParallel|/parallel$|E11AverageCase|E11Omission|E14LossyChannels)'
