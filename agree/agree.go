@@ -497,7 +497,9 @@ func (r *Report) MaxDecideRound() int {
 // scaffolding (report slice, aggregate fold) is skipped, keeping the
 // library's primary entry point lean.
 func Run(cfg Config) (*Report, error) {
-	return runConfig(cfg, harness.NewCache())
+	cache := harness.NewCache()
+	defer cache.Close()
+	return runConfig(cfg, cache)
 }
 
 // normalize validates a config, fills in the defaults, and materializes the

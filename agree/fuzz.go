@@ -438,7 +438,9 @@ func FuzzReplayScript(cfg FuzzConfig, script string, withTrace bool) (*FuzzRepla
 		log = trace.New()
 	}
 	tgt := withLatency(fuzzFactory(cfg), cfg.Latency)()
-	eng, err := harness.NewCache().Get(harness.Kind(cfg.Engine))
+	cache := harness.NewCache()
+	defer cache.Close()
+	eng, err := cache.Get(harness.Kind(cfg.Engine))
 	if err != nil {
 		return nil, err
 	}

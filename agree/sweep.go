@@ -61,6 +61,15 @@ type SweepAggregate struct {
 	// keep their primary report) are excluded from all report-derived
 	// aggregates.
 	Counters metrics.Counters
+	// EnginesBuilt and EngineReuses account for the worker pool's engine
+	// caches: constructions vs jobs served by an already-built engine
+	// (the Reusable capability's dividend). They are the only
+	// worker-count-dependent fields of the aggregate — a pool of w workers
+	// builds up to w engines per kind touched — and are excluded from the
+	// sweep's bit-identical-across-worker-counts guarantee.
+	EnginesBuilt int
+	// EngineReuses counts jobs served by a previously-built engine.
+	EngineReuses int
 }
 
 // SweepReport is the result of a Sweep: per-configuration items in input
@@ -78,7 +87,7 @@ type SweepReport struct {
 // never by panicking or aborting the rest of the batch.
 func Sweep(configs []Config, opts SweepOptions) *SweepReport {
 	sr := &SweepReport{Items: make([]SweepItem, len(configs))}
-	harness.ForEach(len(configs), opts.Workers, func(cache *harness.Cache, i int) {
+	stats := harness.ForEach(len(configs), opts.Workers, func(cache *harness.Cache, i int) {
 		item := &sr.Items[i]
 		item.Config = configs[i]
 		item.Report, item.Err = runConfig(configs[i], cache)
@@ -89,6 +98,7 @@ func Sweep(configs []Config, opts SweepOptions) *SweepReport {
 	})
 	agg := &sr.Aggregate
 	agg.Configs = len(configs)
+	agg.EnginesBuilt, agg.EngineReuses = stats.Built, stats.ReuseHits
 	agg.RoundHistogram = make(map[int]int)
 	for i := range sr.Items {
 		item := &sr.Items[i]

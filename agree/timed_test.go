@@ -129,7 +129,7 @@ func TestEnginesListing(t *testing.T) {
 	for _, e := range engs {
 		byKind[e.Kind] = e
 	}
-	if e := byKind[agree.EngineTimed]; !e.Timed || !e.Trace || !e.Deterministic || e.Reusable {
+	if e := byKind[agree.EngineTimed]; !e.Timed || !e.Trace || !e.Deterministic || !e.Reusable {
 		t.Errorf("timed engine info = %+v", e)
 	}
 	if e := byKind[agree.EngineDeterministic]; e.Timed || !e.Reusable {

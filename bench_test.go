@@ -464,22 +464,56 @@ func BenchmarkFuzz(b *testing.B) {
 	}
 }
 
-// BenchmarkLockstepEngine times the goroutine runtime against the
-// deterministic engine's workload (n=32, f=4): the cost of real concurrency.
-func BenchmarkLockstepEngine(b *testing.B) {
+// benchLockstepReuse drives one persistent lockstep runtime through b.N
+// rebuilt workloads (n procs, f coordinator crashes). Engine construction —
+// per-process goroutines and the n×n channel matrix — is paid once before the
+// timer starts; each iteration pays only process construction, Reset and the
+// run itself, which is how the sweep harness drives the engine now that it is
+// Reusable.
+func benchLockstepReuse(b *testing.B, n, f int) {
+	b.Helper()
+	props := make([]sim.Value, n)
+	for j := range props {
+		props[j] = sim.Value(100 + j)
+	}
+	cfg := lockstep.Config{Model: sim.ModelExtended}
+	rt, err := lockstep.New(cfg, core.NewSystem(props, core.Options{}),
+		adversary.CoordinatorKiller{F: f})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := rt.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		props := make([]sim.Value, 32)
-		for j := range props {
-			props[j] = sim.Value(100 + j)
-		}
-		rt, err := lockstep.New(lockstep.Config{Model: sim.ModelExtended},
-			core.NewSystem(props, core.Options{}), adversary.CoordinatorKiller{F: 4})
-		if err != nil {
+		if err := rt.Reset(cfg, core.NewSystem(props, core.Options{}),
+			adversary.CoordinatorKiller{F: f}); err != nil {
 			b.Fatal(err)
 		}
 		if _, err := rt.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLockstepEngine times the goroutine runtime against the
+// deterministic engine's workload (n=32, f=4): the cost of real concurrency
+// on the reuse path (goroutines parked between runs, not respawned).
+func BenchmarkLockstepEngine(b *testing.B) {
+	benchLockstepReuse(b, 32, 4)
+}
+
+// BenchmarkLockstepEngineN scales the reused goroutine runtime across system
+// sizes at f = n/8 (the headline BenchmarkLockstepEngine ratio); the cold
+// construction path across sizes lives in BenchmarkEngineScaling.
+func BenchmarkLockstepEngineN(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchLockstepReuse(b, n, n/8)
+		})
 	}
 }
 
@@ -500,6 +534,23 @@ func BenchmarkTimedEngine(b *testing.B) {
 		run(b, agree.Config{N: 32, Engine: agree.EngineTimed,
 			Latency: agree.JitterLatency(7, 1, 0.1, 0.1, 0.85),
 			Faults:  agree.CoordinatorCrashes(4)})
+	}
+}
+
+// BenchmarkTimedEngineN scales the timed workload across system sizes at
+// f = n/8 (the headline BenchmarkTimedEngine ratio): event-count growth is
+// quadratic in n, so this series shows how far the pooled scheduler keeps
+// per-event cost flat.
+func BenchmarkTimedEngineN(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run(b, agree.Config{N: n, Engine: agree.EngineTimed,
+					Latency: agree.JitterLatency(7, 1, 0.1, 0.1, 0.85),
+					Faults:  agree.CoordinatorCrashes(n / 8)})
+			}
+		})
 	}
 }
 

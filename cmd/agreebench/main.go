@@ -43,6 +43,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(t.String())
+		printPoolUsage()
 		exitOnFail([]*experiments.Table{t})
 		return
 	}
@@ -50,7 +51,17 @@ func main() {
 	for _, t := range tables {
 		fmt.Println(t.String())
 	}
+	printPoolUsage()
 	exitOnFail(tables)
+}
+
+// printPoolUsage reports how much engine construction the sweep workers'
+// caches saved: batched experiments rewind Reusable engines between jobs
+// instead of rebuilding them.
+func printPoolUsage() {
+	if built, reuses := experiments.PoolUsage(); built+reuses > 0 {
+		fmt.Printf("engine pool: %d built, %d reuse hits across batched sweeps\n", built, reuses)
+	}
 }
 
 // exitOnFail exits non-zero if any experiment's verdict is not PASS, so the

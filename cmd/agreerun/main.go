@@ -193,6 +193,8 @@ func runSweep(n, tt int, protocol, engine string, bits, max, workers int, crossc
 	agg := sr.Aggregate
 	fmt.Printf("\naggregate: %d configs, %d errors, %d violations, rounds histogram %v, %s\n",
 		agg.Configs, agg.Errored, agg.Violations, agg.RoundHistogram, agg.Counters.String())
+	fmt.Printf("engine pool: %d built, %d reuse hits (reusable engines rewind between jobs)\n",
+		agg.EnginesBuilt, agg.EngineReuses)
 	if failed {
 		os.Exit(2)
 	}

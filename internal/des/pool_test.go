@@ -1,0 +1,380 @@
+package des_test
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+)
+
+// TestHandleSpentAfterRecycling pins the Handle lifetime contract under
+// event pooling: a handle retained past its event's execution must stay
+// spent even after the pooled slot has been re-let to a new event. Before
+// generation counting, a raw-pointer handle would have silently cancelled
+// the slot's new tenant.
+func TestHandleSpentAfterRecycling(t *testing.T) {
+	var s des.Sim
+	h1 := s.At(1, func() {})
+	s.Run(des.Infinity) // h1's event executes and its slot is recycled
+	if h1.Cancel() {
+		t.Fatal("Cancel returned true for an executed event")
+	}
+	// The pool hands h1's slot to the next scheduled event.
+	fired := false
+	h2 := s.At(2, func() { fired = true })
+	if h1.Cancel() {
+		t.Fatal("stale handle cancelled the slot's new tenant")
+	}
+	s.Run(des.Infinity)
+	if !fired {
+		t.Fatal("recycled-slot event did not fire (stale handle corrupted it)")
+	}
+	if h2.Cancel() {
+		t.Fatal("Cancel returned true after the recycled-slot event executed")
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+}
+
+// TestHandleSpentAfterReset pins the other half of the lifetime contract: a
+// handle retained across Sim.Reset reports Cancel() == false, and cannot
+// touch events of the next run even when they reuse its old slot.
+func TestHandleSpentAfterReset(t *testing.T) {
+	var s des.Sim
+	stale := make([]des.Handle, 0, 8)
+	for i := 0; i < 8; i++ {
+		stale = append(stale, s.At(des.Time(i), func() {}))
+	}
+	s.Run(3) // some executed, some still pending
+	s.Reset()
+	for i, h := range stale {
+		if h.Cancel() {
+			t.Fatalf("handle %d survived Reset", i)
+		}
+	}
+	// The next run reuses the recycled slots; stale handles must stay inert.
+	fired := 0
+	for i := 0; i < 8; i++ {
+		s.At(des.Time(i), func() { fired++ })
+	}
+	for _, h := range stale {
+		if h.Cancel() {
+			t.Fatal("stale handle cancelled an event of the next run")
+		}
+	}
+	s.Run(des.Infinity)
+	if fired != 8 {
+		t.Fatalf("next run fired %d events, want 8 (stale handles interfered)", fired)
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatalf("Audit after Reset: %v", err)
+	}
+}
+
+// TestResetRewindsEverything pins Reset semantics: clock, step count,
+// pending events and audit books all return to the zero state, and the next
+// run is indistinguishable from a run on a fresh Sim.
+func TestResetRewindsEverything(t *testing.T) {
+	var s des.Sim
+	s.At(5, func() {})
+	h := s.At(7, func() {})
+	h.Cancel()
+	s.At(9, func() {})
+	s.Run(6) // one executed, one tombstone, one pending
+	s.Reset()
+	if s.Now() != 0 || s.Steps() != 0 || s.Pending() != 0 {
+		t.Fatalf("after Reset: Now=%v Steps=%d Pending=%d, want all zero", s.Now(), s.Steps(), s.Pending())
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatalf("Audit after Reset: %v", err)
+	}
+	var order []int
+	for i := 3; i >= 1; i-- {
+		i := i
+		s.At(des.Time(i), func() { order = append(order, i) })
+	}
+	s.Run(des.Infinity)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("post-Reset run order = %v, want [1 2 3]", order)
+	}
+	if s.Steps() != 3 {
+		t.Errorf("post-Reset Steps = %d, want 3", s.Steps())
+	}
+}
+
+// TestSchedulingAllocFree pins the pooling dividend: once the free list is
+// warm, the schedule→run cycle allocates nothing.
+func TestSchedulingAllocFree(t *testing.T) {
+	var s des.Sim
+	tick := func() {}
+	run := func() {
+		s.Reset()
+		for i := 0; i < 32; i++ {
+			s.At(des.Time(i%7), tick)
+		}
+		s.Run(des.Infinity)
+	}
+	run() // warm the pool and the heap slice
+	if allocs := testing.AllocsPerRun(100, run); allocs > 0 {
+		t.Errorf("warm schedule/run cycle allocates %.1f allocs/run, want 0", allocs)
+	}
+}
+
+// refSim is the retained reference implementation for the pooled/4-ary
+// differential: the pre-pooling des core verbatim — container/heap's
+// interface-boxed binary heap, one heap-allocated event per schedule, no
+// recycling. It executes (time, ord) sequences that the rebuilt core must
+// reproduce exactly.
+type refSim struct {
+	queue     refHeap
+	now       des.Time
+	seq       uint64
+	steps     int
+	cancelled int
+	scheduled int
+	cancEver  int
+}
+
+type refEvent struct {
+	at  des.Time
+	seq uint64
+	fn  func()
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type refHandle struct {
+	s *refSim
+	e *refEvent
+}
+
+func (h refHandle) cancel() bool {
+	if h.e == nil || h.e.fn == nil {
+		return false
+	}
+	h.e.fn = nil
+	h.s.cancelled++
+	h.s.cancEver++
+	return true
+}
+
+func (s *refSim) at(t des.Time, fn func()) refHandle {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := &refEvent{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	s.scheduled++
+	return refHandle{s: s, e: e}
+}
+
+func (s *refSim) run(until des.Time) {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.fn == nil {
+			heap.Pop(&s.queue)
+			s.cancelled--
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		s.steps++
+		fn := next.fn
+		next.fn = nil
+		fn()
+	}
+}
+
+func (s *refSim) reset() { *s = refSim{} }
+
+func (s *refSim) pending() int { return len(s.queue) - s.cancelled }
+
+func (s *refSim) booksBalance() bool {
+	return s.scheduled == s.steps+s.pending()+s.cancEver
+}
+
+// execRecord is one executed event as observed by the differential: the
+// simulated time it ran at and its global scheduling order within the
+// current run.
+type execRecord struct {
+	at  des.Time
+	ord int
+}
+
+// simOp is one differential script step, interpreted identically by both
+// simulators.
+type simOp struct {
+	kind   int      // 0 schedule, 1 cancel, 2 run-until, 3 reset
+	at     des.Time // schedule target / run horizon
+	victim int      // cancel: index into the handle log (mod its length)
+	child  bool     // schedule: the event itself schedules a child at now+0.5
+}
+
+// TestPooledSimDifferentialProperty is the satellite testing/quick property:
+// the pooled, 4-ary, resettable des.Sim produces the same (time, ord)
+// execution sequence — and the same clean Audit verdict — as the retained
+// reference implementation (refSim: the pre-pooling container/heap core),
+// over random interleavings of scheduling (from outside and from inside
+// events), cancellation, Run horizons, and Reset. The op script is generated
+// once and replayed against both simulators, so any divergence is a
+// pooling/heap/Reset bug, not test noise.
+func TestPooledSimDifferentialProperty(t *testing.T) {
+	prop := func(seed int64, nOpsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nOps := int(nOpsRaw%48) + 8
+		ops := make([]simOp, nOps)
+		for i := range ops {
+			o := simOp{kind: rng.Intn(4), at: des.Time(rng.Intn(12)), victim: rng.Int() >> 1, child: rng.Intn(3) == 0}
+			if o.kind == 3 && rng.Intn(3) != 0 {
+				o.kind = 0 // keep Reset rare enough that runs have depth
+			}
+			ops[i] = o
+		}
+		ops = append(ops, simOp{kind: 2, at: des.Infinity}) // final drain
+
+		var got, want []execRecord
+		var s des.Sim
+		gotClean := drivePooled(&s, ops, &got)
+		var r refSim
+		wantClean := driveRef(&r, ops, &want)
+
+		if gotClean != wantClean {
+			t.Logf("seed %d: audit clean %v (pooled) vs %v (reference)", seed, gotClean, wantClean)
+			return false
+		}
+		if len(got) != len(want) {
+			t.Logf("seed %d: executed %d events (pooled) vs %d (reference)", seed, len(got), len(want))
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("seed %d: execution %d = %+v (pooled) vs %+v (reference)", seed, i, got[i], want[i])
+				return false
+			}
+		}
+		if s.Now() != r.now || s.Steps() != r.steps || s.Pending() != r.pending() {
+			t.Logf("seed %d: state Now/Steps/Pending %v/%d/%d vs %v/%d/%d",
+				seed, s.Now(), s.Steps(), s.Pending(), r.now, r.steps, r.pending())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// drivePooled replays an op script on the pooled des.Sim, appending executed
+// (time, per-run ord) records, and reports whether every Audit along the way
+// was clean. Reset clears the handle log: the Handle-across-Reset contract
+// (spent forever) is pinned by its own regression test, while the reference
+// core predates that contract.
+func drivePooled(s *des.Sim, ops []simOp, got *[]execRecord) bool {
+	clean := true
+	var handles []des.Handle
+	ord := 0
+	var schedule func(at des.Time, child bool)
+	schedule = func(at des.Time, child bool) {
+		id := ord
+		ord++
+		h := s.At(at, func() {
+			*got = append(*got, execRecord{at: s.Now(), ord: id})
+			if child {
+				schedule(s.Now()+0.5, false)
+			}
+		})
+		handles = append(handles, h)
+	}
+	for _, o := range ops {
+		switch o.kind {
+		case 0:
+			schedule(o.at, o.child)
+		case 1:
+			if len(handles) > 0 {
+				handles[o.victim%len(handles)].Cancel()
+			}
+		case 2:
+			s.Run(o.at)
+			if s.Audit() != nil {
+				clean = false
+			}
+		case 3:
+			s.Reset()
+			handles = handles[:0]
+			ord = 0
+		}
+	}
+	if s.Audit() != nil {
+		clean = false
+	}
+	return clean
+}
+
+// driveRef replays the identical op script on the reference implementation.
+// Its structure mirrors drivePooled line for line; only the simulator type
+// differs.
+func driveRef(r *refSim, ops []simOp, want *[]execRecord) bool {
+	clean := true
+	var handles []refHandle
+	ord := 0
+	var schedule func(at des.Time, child bool)
+	schedule = func(at des.Time, child bool) {
+		id := ord
+		ord++
+		h := r.at(at, func() {
+			*want = append(*want, execRecord{at: r.now, ord: id})
+			if child {
+				schedule(r.now+0.5, false)
+			}
+		})
+		handles = append(handles, h)
+	}
+	for _, o := range ops {
+		switch o.kind {
+		case 0:
+			schedule(o.at, o.child)
+		case 1:
+			if len(handles) > 0 {
+				handles[o.victim%len(handles)].cancel()
+			}
+		case 2:
+			r.run(o.at)
+			if !r.booksBalance() {
+				clean = false
+			}
+		case 3:
+			r.reset()
+			handles = handles[:0]
+			ord = 0
+		}
+	}
+	if !r.booksBalance() {
+		clean = false
+	}
+	return clean
+}

@@ -24,7 +24,31 @@ var sweepOpts agree.SweepOptions
 // count for the parallel sweep and cross-engine checking. The tables
 // produced are identical for every option combination (the sweep is
 // deterministic); only wall-clock time and the depth of validation change.
-func SetSweepOptions(o agree.SweepOptions) { sweepOpts = o }
+// It also resets the engine-pool accounting reported by PoolUsage.
+func SetSweepOptions(o agree.SweepOptions) {
+	sweepOpts = o
+	poolBuilt, poolReuses = 0, 0
+}
+
+// poolBuilt / poolReuses accumulate the engine-pool account across every
+// batched sweep run since the last SetSweepOptions.
+var poolBuilt, poolReuses int
+
+// batchSweep is the single sweep entry point of the batched experiments: it
+// runs agree.Sweep and folds the engine construction/reuse account into the
+// package accumulator so callers (cmd/agreebench) can report how much work
+// the Reusable engines saved across a -workers run.
+func batchSweep(configs []agree.Config, opts agree.SweepOptions) *agree.SweepReport {
+	sr := agree.Sweep(configs, opts)
+	poolBuilt += sr.Aggregate.EnginesBuilt
+	poolReuses += sr.Aggregate.EngineReuses
+	return sr
+}
+
+// PoolUsage returns the engine-pool account accumulated by batched
+// experiments since the last SetSweepOptions: engines constructed and jobs
+// served by an already-built (reused) engine.
+func PoolUsage() (built, reuses int) { return poolBuilt, poolReuses }
 
 // Table is a rendered experiment result.
 type Table struct {

@@ -59,7 +59,7 @@ func E3Crossover() *Table {
 		err     error
 	}
 	measure := func(f int, spec agree.LatencySpec) timePair {
-		sr := agree.Sweep([]agree.Config{
+		sr := batchSweep([]agree.Config{
 			{N: n, Protocol: agree.ProtocolCRW, Engine: agree.EngineTimed,
 				Latency: spec, Faults: agree.CoordinatorCrashes(f)},
 			{N: n, T: tt, Protocol: agree.ProtocolEarlyStop, Engine: agree.EngineTimed,

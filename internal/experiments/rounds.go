@@ -46,7 +46,7 @@ func E1RoundsVsFaults() *Table {
 				n - 1: {Round: 1},
 			})})
 	}
-	sr := agree.Sweep(configs, sweepOpts)
+	sr := batchSweep(configs, sweepOpts)
 	ok := true
 	for i, sp := range specs {
 		item := sr.Items[i]
@@ -107,7 +107,7 @@ func E4Baselines() *Table {
 					Faults: agree.CoordinatorCrashes(f)})
 		}
 	}
-	sr := agree.Sweep(configs, sweepOpts)
+	sr := batchSweep(configs, sweepOpts)
 	ok := true
 	for i, sp := range specs {
 		crwIt, esIt, fsIt := sr.Items[3*i], sr.Items[3*i+1], sr.Items[3*i+2]
@@ -203,7 +203,7 @@ func E9Messages() *Table {
 					Faults: agree.CoordinatorCrashes(f)})
 		}
 	}
-	sr := agree.Sweep(configs, sweepOpts)
+	sr := batchSweep(configs, sweepOpts)
 	ok := true
 	for i, sp := range specs {
 		crwIt, esIt, fsIt := sr.Items[3*i], sr.Items[3*i+1], sr.Items[3*i+2]

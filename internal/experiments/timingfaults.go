@@ -63,7 +63,7 @@ func E16TimingFaults() *Table {
 	// are skipped by design (timing faults are a continuous-time semantics).
 	opts := sweepOpts
 	opts.CrossCheck = true
-	sr := agree.Sweep(configs, opts)
+	sr := batchSweep(configs, opts)
 
 	ok := true
 	for i, sc := range scenarios {

@@ -39,12 +39,12 @@ func TestRegistryHasBuiltinEngines(t *testing.T) {
 		t.Errorf("deterministic caps = %+v, want trace+deterministic+reusable", det)
 	}
 	ls, ok := harness.Lookup(harness.KindLockstep)
-	if !ok || ls.Trace || ls.Deterministic || ls.Reusable || ls.Timed {
-		t.Errorf("lockstep caps = %+v, want none", ls)
+	if !ok || ls.Trace || ls.Deterministic || !ls.Reusable || ls.Timed {
+		t.Errorf("lockstep caps = %+v, want reusable only", ls)
 	}
 	td, ok := harness.Lookup(harness.KindTimed)
-	if !ok || !td.Trace || !td.Deterministic || td.Reusable || !td.Timed {
-		t.Errorf("timed caps = %+v, want trace+deterministic+timed (not reusable)", td)
+	if !ok || !td.Trace || !td.Deterministic || !td.Reusable || !td.Timed {
+		t.Errorf("timed caps = %+v, want trace+deterministic+reusable+timed", td)
 	}
 	if _, ok := harness.Lookup("bogus"); ok {
 		t.Error("Lookup accepted an unregistered kind")

@@ -8,34 +8,51 @@ import (
 )
 
 // lockstepEngine adapts the goroutine-per-process runtime
-// (internal/lockstep) to the harness interface. The runtime is built fresh
-// per job — its channel matrix and goroutines are consumed by one run — so
-// the adapter advertises no Reusable capability; it also records no
-// transcripts and, because worker goroutines consult the adversary in
-// scheduling order, makes no bit-determinism promise.
-type lockstepEngine struct{}
+// (internal/lockstep) to the harness interface. The runtime's worker
+// goroutines and channel matrix are persistent: the adapter keeps one
+// lockstep.Runtime and rearms it with Reset per job, so it advertises
+// Reusable. It records no transcripts and, because worker goroutines consult
+// the adversary in scheduling order, makes no bit-determinism promise. Close
+// (called by Cache.Close) terminates the goroutine set.
+type lockstepEngine struct {
+	rt *lockstep.Runtime
+}
 
 func init() {
-	Register(func() Engine { return lockstepEngine{} })
+	Register(func() Engine { return &lockstepEngine{} })
 }
 
 // Kind implements Engine.
-func (lockstepEngine) Kind() Kind { return KindLockstep }
+func (e *lockstepEngine) Kind() Kind { return KindLockstep }
 
 // Capabilities implements Engine.
-func (lockstepEngine) Capabilities() Capabilities { return Capabilities{} }
+func (e *lockstepEngine) Capabilities() Capabilities { return Capabilities{Reusable: true} }
 
 // Run implements Engine.
-func (lockstepEngine) Run(job Job) (*sim.Result, error) {
+func (e *lockstepEngine) Run(job Job) (*sim.Result, error) {
 	if job.Trace != nil {
 		return nil, fmt.Errorf("harness: engine %q has no trace capability", KindLockstep)
 	}
 	if job.Latency != nil {
 		return nil, fmt.Errorf("harness: engine %q has no timed capability", KindLockstep)
 	}
-	rt, err := lockstep.New(lockstep.Config{Model: job.Model, Horizon: job.Horizon}, job.Procs, job.Adv)
-	if err != nil {
+	cfg := lockstep.Config{Model: job.Model, Horizon: job.Horizon}
+	if e.rt == nil {
+		rt, err := lockstep.New(cfg, job.Procs, job.Adv)
+		if err != nil {
+			return nil, err
+		}
+		e.rt = rt
+	} else if err := e.rt.Reset(cfg, job.Procs, job.Adv); err != nil {
 		return nil, err
 	}
-	return audited(rt.Run())
+	return audited(e.rt.Run())
+}
+
+// Close terminates the runtime's persistent worker goroutines.
+func (e *lockstepEngine) Close() {
+	if e.rt != nil {
+		e.rt.Close()
+		e.rt = nil
+	}
 }

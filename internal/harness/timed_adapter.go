@@ -6,37 +6,47 @@ import (
 )
 
 // timedEngine adapts the continuous-time discrete-event engine
-// (internal/timed) to the harness interface. A timed.Engine is consumed by
-// one run — its event queue and clock are not rewindable — so the adapter
-// constructs one per job and advertises no Reusable capability. It does
-// advertise Deterministic: the event loop is single-threaded, adversaries
+// (internal/timed) to the harness interface. The adapter keeps one
+// timed.Engine and rearms it with Reset for every job after the first —
+// timed.Engine.Reset replaces the whole job (config, processes, adversary,
+// latency model) while keeping the event pool, the heap and the inbox
+// scratch, so the adapter advertises Reusable unconditionally. It also
+// advertises Deterministic: the event loop is single-threaded, adversaries
 // are consulted in the same (round, process-id) order as the deterministic
 // engine, and the seeded Jitter latency model derives randomness from pure
 // per-message hashes.
-type timedEngine struct{}
+type timedEngine struct {
+	eng *timed.Engine
+}
 
 func init() {
-	Register(func() Engine { return timedEngine{} })
+	Register(func() Engine { return &timedEngine{} })
 }
 
 // Kind implements Engine.
-func (timedEngine) Kind() Kind { return KindTimed }
+func (e *timedEngine) Kind() Kind { return KindTimed }
 
 // Capabilities implements Engine.
-func (timedEngine) Capabilities() Capabilities {
-	return Capabilities{Trace: true, Deterministic: true, Timed: true}
+func (e *timedEngine) Capabilities() Capabilities {
+	return Capabilities{Trace: true, Deterministic: true, Reusable: true, Timed: true}
 }
 
 // Run implements Engine.
-func (timedEngine) Run(job Job) (*sim.Result, error) {
-	eng, err := timed.New(timed.Config{
+func (e *timedEngine) Run(job Job) (*sim.Result, error) {
+	cfg := timed.Config{
 		Model:   job.Model,
 		Horizon: job.Horizon,
 		Trace:   job.Trace,
 		Latency: job.Latency,
-	}, job.Procs, job.Adv)
-	if err != nil {
+	}
+	if e.eng == nil {
+		eng, err := timed.New(cfg, job.Procs, job.Adv)
+		if err != nil {
+			return nil, err
+		}
+		e.eng = eng
+	} else if err := e.eng.Reset(cfg, job.Procs, job.Adv); err != nil {
 		return nil, err
 	}
-	return audited(eng.Run())
+	return audited(e.eng.Run())
 }

@@ -8,12 +8,13 @@
 // Round boundaries emerge from timers rather than lockstep barriers: a round
 // starts at simulated time T, each alive process executes its send phase and
 // every transmitted message is scheduled to arrive at T plus its sampled
-// latency; per-process receive timers fire at the round deadline T + D
-// (classic model) or T + D + δ (extended model), deliver whatever arrived in
-// time, and run the local computation phase. The paper's timing claim —
-// an (f+1)-round extended run costs (f+1)(D+δ) against min(f+2, t+1)·D
-// classically — thereby becomes executable: sim.Result.SimTime is measured
-// from the event clock, not derived analytically.
+// latency; one deadline sweep fires at the round deadline T + D (classic
+// model) or T + D + δ (extended model), delivers whatever arrived in time to
+// each process in id order, and runs the local computation phases. The
+// paper's timing claim — an (f+1)-round extended run costs (f+1)(D+δ)
+// against min(f+2, t+1)·D classically — thereby becomes executable:
+// sim.Result.SimTime is measured from the event clock, not derived
+// analytically.
 //
 // Synchrony is an assumption the latency model may violate: a data message
 // whose latency exceeds D, or a control message whose latency exceeds D + δ,
@@ -27,6 +28,12 @@
 // omission bookkeeping, and traffic counters. The differential tests and the
 // sweep harness's CrossCheck mode enforce this; only SimTime distinguishes
 // the engines.
+//
+// The hot path is built for reuse: message arrivals ride pooled delivery
+// records (des.Action) instead of per-message closures, the per-round
+// deadline is one batched sweep event instead of n per-process timers, inbox
+// scratch is recycled across rounds, and Reset rewinds an Engine — including
+// its des.Sim and every pool — for the next job without reallocating.
 package timed
 
 import (
@@ -53,9 +60,9 @@ type Config struct {
 	Latency LatencyModel
 }
 
-// Engine executes one job on the discrete-event clock. Like the lockstep
-// runtime, an Engine value is consumed by a single Run; the harness adapter
-// constructs one per job.
+// Engine executes one job on the discrete-event clock. A fresh engine (New)
+// runs one job; Reset rearms it for the next job while keeping every buffer,
+// which is what lets the harness mark the timed engine Reusable.
 type Engine struct {
 	cfg   Config
 	procs []sim.Process
@@ -82,24 +89,78 @@ type Engine struct {
 	ctr           metrics.Counters
 	led           metrics.Ledger
 
+	// Pooled arrival records: one per in-flight message, recycled the moment
+	// the message is delivered. freeDel is the free list; allDel pins every
+	// record ever allocated so Reset can reclaim the ones still in flight
+	// when a run is cut short.
+	freeDel []*delivery
+	allDel  []*delivery
+	// sweepAct is the single per-round deadline event, reused every round
+	// (at most one is ever outstanding).
+	sweepAct sweepAction
+
 	ds     des.Sim
 	rounds sim.Round
 	err    error
 	ran    bool
 }
 
+// delivery is a pooled message arrival: the allocation-free replacement for
+// the per-message `func() { e.arrive(m) }` closure.
+type delivery struct {
+	e *Engine
+	m sim.Message
+}
+
+// Act implements des.Action: deliver the message and recycle the record. The
+// record is released before delivery (mirroring des.Sim.Run) so nothing
+// dangles if arrive ends the run.
+func (d *delivery) Act() {
+	e, m := d.e, d.m
+	e.freeDel = append(e.freeDel, d)
+	e.arrive(m)
+}
+
+// sweepAction is the batched round-deadline event: one timer per round in
+// place of n per-process receive timers plus a controller.
+type sweepAction struct {
+	e *Engine
+	r sim.Round
+}
+
+// Act implements des.Action.
+func (s *sweepAction) Act() { s.e.sweep(s.r) }
+
 // New builds a timed engine over the given processes (ids 1..n in order).
 func New(cfg Config, procs []sim.Process, adv sim.Adversary) (*Engine, error) {
+	e := &Engine{}
+	e.sweepAct.e = e
+	if err := e.init(cfg, procs, adv); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reset rearms the engine for a new job, keeping the event pool, the heap,
+// the inbox scratch and the delivery records of previous runs. On error the
+// engine is unchanged and still holds its previous (consumed) job.
+func (e *Engine) Reset(cfg Config, procs []sim.Process, adv sim.Adversary) error {
+	return e.init(cfg, procs, adv)
+}
+
+// init validates and installs a job; shared by New and Reset. Validation
+// happens before any mutation so a failed Reset leaves the engine intact.
+func (e *Engine) init(cfg Config, procs []sim.Process, adv sim.Adversary) error {
 	if len(procs) == 0 {
-		return nil, errors.New("timed: no processes")
+		return errors.New("timed: no processes")
 	}
 	for i, p := range procs {
 		if p.ID() != sim.ProcID(i+1) {
-			return nil, fmt.Errorf("timed: process at index %d has id %d, want %d", i, p.ID(), i+1)
+			return fmt.Errorf("timed: process at index %d has id %d, want %d", i, p.ID(), i+1)
 		}
 	}
 	if adv == nil {
-		return nil, errors.New("timed: nil adversary")
+		return errors.New("timed: nil adversary")
 	}
 	if cfg.Horizon <= 0 {
 		cfg.Horizon = sim.Round(len(procs) + 2)
@@ -109,45 +170,126 @@ func New(cfg Config, procs []sim.Process, adv sim.Adversary) (*Engine, error) {
 		lat = DefaultModel()
 	}
 	if err := validateModel(lat); err != nil {
-		return nil, err
+		return err
 	}
 	n := len(procs)
-	e := &Engine{cfg: cfg, procs: procs, adv: adv, lat: lat}
+	e.cfg, e.procs, e.adv, e.lat = cfg, procs, adv, lat
 	e.omit, _ = adv.(sim.Omitter)
 	e.d, e.delta = lat.Params()
 	e.roundDur = e.d
 	if cfg.Model == sim.ModelExtended {
 		e.roundDur += e.delta
 	}
-	e.alive = make([]bool, n)
-	e.halted = make([]bool, n)
-	e.decided = make([]bool, n)
-	e.decVal = make([]sim.Value, n)
-	e.decRnd = make([]sim.Round, n)
-	e.crashRnd = make([]sim.Round, n)
-	e.inbox = make([][]sim.Message, n)
+	e.alive = resizeBools(e.alive, n)
+	e.halted = resizeBools(e.halted, n)
+	e.decided = resizeBools(e.decided, n)
+	e.decVal = resizeValues(e.decVal, n)
+	e.decRnd = resizeRounds(e.decRnd, n)
+	e.crashRnd = resizeRounds(e.crashRnd, n)
+	if cap(e.inbox) < n {
+		e.inbox = make([][]sim.Message, n)
+	} else {
+		e.inbox = e.inbox[:n]
+		for i := range e.inbox {
+			e.inbox[i] = e.inbox[i][:0]
+		}
+	}
 	if e.omit != nil {
-		e.omitCnt = make([]int, n)
-		e.recvOmit = make([][]bool, n)
+		if cap(e.omitCnt) < n {
+			e.omitCnt = make([]int, n)
+			e.recvOmit = make([][]bool, n)
+		} else {
+			e.omitCnt = e.omitCnt[:n]
+			e.recvOmit = e.recvOmit[:n]
+			for i := range e.omitCnt {
+				e.omitCnt[i] = 0
+				e.recvOmit[i] = nil
+			}
+		}
+	} else {
+		e.omitCnt = e.omitCnt[:0]
+		e.recvOmit = e.recvOmit[:0]
 	}
 	for i := range e.alive {
 		e.alive[i] = true
 	}
 	e.aliveUnhalted = n
-	return e, nil
+	e.nDecided, e.nCrashed = 0, 0
+	e.ctr = metrics.Counters{}
+	e.led = metrics.Ledger{}
+	e.freeDel = append(e.freeDel[:0], e.allDel...)
+	e.ds.Reset()
+	e.rounds = 0
+	e.err = nil
+	e.ran = false
+	return nil
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func resizeValues(s []sim.Value, n int) []sim.Value {
+	if cap(s) < n {
+		return make([]sim.Value, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeRounds(s []sim.Round, n int) []sim.Round {
+	if cap(s) < n {
+		return make([]sim.Round, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// allocDel takes a delivery record from the free list, growing it by a slab
+// when empty (same amortization as the des event pool).
+func (e *Engine) allocDel() *delivery {
+	if len(e.freeDel) == 0 {
+		blk := make([]delivery, 32)
+		for i := range blk {
+			blk[i].e = e
+			e.allDel = append(e.allDel, &blk[i])
+			e.freeDel = append(e.freeDel, &blk[i])
+		}
+	}
+	d := e.freeDel[len(e.freeDel)-1]
+	e.freeDel = e.freeDel[:len(e.freeDel)-1]
+	return d
 }
 
 // Run executes the system on the event clock until every alive process has
 // halted, the horizon is reached, or a model violation occurs. It returns
 // the result in all cases; the result is partial when err != nil. Run may be
-// called once per Engine.
+// called once per job (use Reset to arm the next one).
 func (e *Engine) Run() (*sim.Result, error) {
 	if e.ran {
-		return nil, errors.New("timed: Engine.Run called twice (the engine is single-use)")
+		return nil, errors.New("timed: Engine.Run called twice (Reset the engine between jobs)")
 	}
 	e.ran = true
-	e.ds.At(0, func() { e.roundStart(1) })
-	e.ds.Run(des.Infinity)
+	// Round 1 opens at t=0: run it directly instead of scheduling a
+	// one-shot bootstrap event. A send-phase failure here aborts before the
+	// event loop starts (inside the loop, fail's Stop would do the same).
+	e.roundStart(1)
+	if e.err == nil {
+		e.ds.Run(des.Infinity)
+	}
 
 	res := &sim.Result{
 		Rounds:      e.rounds,
@@ -193,11 +335,10 @@ func (e *Engine) allQuiet() bool { return e.aliveUnhalted == 0 }
 // roundStart opens round r at the current simulated time: it runs the send
 // phase of every alive, unhalted process in id order (the same adversary
 // consultation order as the deterministic engine), scheduling each
-// transmitted message's arrival, then arms one receive timer per process and
-// the round controller at the deadline. FIFO tie-breaking in the event queue
-// guarantees that an arrival at exactly the deadline still precedes the
-// receive timers (it was scheduled earlier), and that the controller runs
-// after every receive timer.
+// transmitted message's arrival, then arms the round's deadline sweep. FIFO
+// tie-breaking in the event queue guarantees that an arrival at exactly the
+// deadline still precedes the sweep (it was scheduled earlier), so the
+// receive phases observe exactly the messages that respected the bound.
 func (e *Engine) roundStart(r sim.Round) {
 	e.rounds = r
 	deadline := e.ds.Now() + e.roundDur
@@ -256,20 +397,30 @@ func (e *Engine) roundStart(r sim.Round) {
 			e.send(sim.Message{From: id, To: to, Round: r, Kind: sim.Control})
 		}
 	}
-	// One receive timer per live participant: processes already crashed or
-	// halted at round start receive nothing (arrive refuses deliveries to
-	// both), so scheduling their timers would only churn the event heap. A
-	// process that halts during this round's receive phase still owns this
-	// round's timer and drops out next round.
+	// One sweep event covers every process due at this deadline (processes
+	// already crashed or halted receive nothing — arrive refuses deliveries
+	// to both — so the sweep skips them). Alive/halted flags only change
+	// inside send phases and sweeps, never between them, so the sweep sees
+	// exactly the processes a per-process timer scheme would have armed.
+	e.sweepAct.r = r
+	e.ds.AtAct(deadline, &e.sweepAct)
+}
+
+// sweep is the round's deadline event: the receive and computation phase of
+// every due process in id order — the order n per-process timers would have
+// fired in under FIFO ties — followed by the round controller.
+func (e *Engine) sweep(r sim.Round) {
 	for _, p := range e.procs {
 		i := int(p.ID()) - 1
 		if !e.alive[i] || e.halted[i] {
 			continue
 		}
-		p := p
-		e.ds.At(deadline, func() { e.receive(p, r) })
+		e.receive(p, r)
+		if e.err != nil {
+			return
+		}
 	}
-	e.ds.At(deadline, func() { e.roundEnd(r) })
+	e.roundEnd(r)
 }
 
 // emitCrashed transmits the escaped part of a crashing sender's plan: the
@@ -316,9 +467,9 @@ func (e *Engine) emitOmitted(from sim.ProcID, r sim.Round, plan sim.SendPlan, om
 
 // send transmits one message: it is accounted as sent, its latency is
 // sampled, and — if the latency respects the synchrony bound of its kind —
-// its arrival is scheduled as a timed event. A latency beyond the bound is a
-// timing fault: the message misses its round and is mapped to a receive
-// omission at the destination (Counters.Late).
+// its arrival is scheduled on a pooled delivery record. A latency beyond the
+// bound is a timing fault: the message misses its round and is mapped to a
+// receive omission at the destination (Counters.Late).
 func (e *Engine) send(m sim.Message) {
 	if m.Kind == sim.Control {
 		e.ctr.AddCtrl()
@@ -342,7 +493,9 @@ func (e *Engine) send(m sim.Message) {
 			m.Kind, float64(lat), float64(bound)))
 		return
 	}
-	e.ds.After(lat, func() { e.arrive(m) })
+	d := e.allocDel()
+	d.m = m
+	e.ds.AfterAct(lat, d)
 }
 
 // arrive delivers a message into its destination's inbox for the current
@@ -352,8 +505,8 @@ func (e *Engine) arrive(m sim.Message) {
 	i := int(m.To) - 1
 	if !e.alive[i] || e.halted[i] {
 		// Crashed: nobody is there. Halted: alive but returned — the round
-		// engines discard its deliveries at the receive phase; with no
-		// receive timer scheduled for it, the discard happens here instead.
+		// engines discard its deliveries at the receive phase; with the
+		// sweep skipping it, the discard happens here instead.
 		if !e.alive[i] {
 			e.led.DeadDest(m.Kind == sim.Control)
 		} else {
@@ -369,9 +522,9 @@ func (e *Engine) arrive(m sim.Message) {
 	}
 }
 
-// receive is process p's round-r deadline timer: the receive phase plus the
-// local computation phase, mirroring the deterministic engine's receive loop
-// body exactly.
+// receive is process p's slice of the round-r deadline sweep: the receive
+// phase plus the local computation phase, mirroring the deterministic
+// engine's receive loop body exactly.
 func (e *Engine) receive(p sim.Process, r sim.Round) {
 	id := p.ID()
 	i := int(id) - 1
@@ -443,10 +596,10 @@ func (e *Engine) applyRecvOmission(in []sim.Message, mask []bool, r sim.Round) [
 	return in[:w]
 }
 
-// roundEnd is the round controller: it runs after every receive timer of
-// round r and decides whether the system is done, out of budget, or starts
-// round r+1 at the current time (rounds are back to back — the receive and
-// computation phases fit inside the round's D, per the model).
+// roundEnd is the round controller, run at the end of the deadline sweep:
+// it decides whether the system is done, out of budget, or starts round r+1
+// at the current time (rounds are back to back — the receive and computation
+// phases fit inside the round's D, per the model).
 func (e *Engine) roundEnd(r sim.Round) {
 	if e.allQuiet() {
 		e.ds.Stop()

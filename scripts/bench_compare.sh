@@ -38,11 +38,14 @@ strict_time="${STRICT_TIME:-0}"
 pattern="${PATTERN:-^(BenchmarkE[0-9]+|BenchmarkExploreParallel|BenchmarkSweep|BenchmarkFuzz|BenchmarkDeterministicEngine|BenchmarkLockstepEngine|BenchmarkTimedEngine)}"
 
 # Benchmarks whose allocs/op must match the baseline exactly: the
-# single-threaded deterministic hot paths the zero-alloc work of PR 1 pinned.
-# The law audit (delivery ledger + post-run checks) rides these paths, so a
-# regression here means the audit started allocating — the ledger must stay
-# plain counters, never maps.
-zero_alloc_re='^Benchmark(E1FailureFree|E1RoundsVsFaults|E4EarlyStop|E4FloodSet|E5Exhaustive|DeterministicEngine)$'
+# single-threaded deterministic hot paths the zero-alloc work of PR 1 pinned,
+# plus the timed and lockstep engine hot paths once they moved onto pooled
+# events / persistent goroutines (their counts are exactly reproducible; the
+# anchored $ keeps the EngineN/n=… sub-benchmarks in the slack gate). The law
+# audit (delivery ledger + post-run checks) rides these paths, so a regression
+# here means the audit started allocating — the ledger must stay plain
+# counters, never maps.
+zero_alloc_re='^Benchmark(E1FailureFree|E1RoundsVsFaults|E4EarlyStop|E4FloodSet|E5Exhaustive|DeterministicEngine|TimedEngine|LockstepEngine)$'
 # Benchmarks excluded from the alloc gate: worker pools scale with
 # GOMAXPROCS, randomized averages scale with the iteration count.
 skip_alloc_re='(ExploreParallel|/parallel$|E11AverageCase|E11Omission|E14LossyChannels)'
