@@ -698,6 +698,27 @@ func BenchmarkSMRThroughput(b *testing.B) {
 	b.ReportMetric(perCommit, "rounds/commit")
 }
 
+// BenchmarkServe times the replicated-log service end to end: an n=8
+// pipelined log on the timed engine under Poisson arrivals, 2000 commands
+// per run, reporting the sustained simulated-time throughput (which is
+// deterministic, so the metric doubles as a regression pin).
+func BenchmarkServe(b *testing.B) {
+	var perHour float64
+	for i := 0; i < b.N; i++ {
+		rep, err := agree.Serve(agree.ServeConfig{
+			N: 8, RotateLeader: true,
+			Latency:     agree.ProfileLatency("1g"),
+			Workload:    agree.PoissonArrivals(200_000, 1),
+			MaxCommands: 2000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		perHour = rep.CommandsPerHour
+	}
+	b.ReportMetric(perHour/1e6, "Mcmds/simhour")
+}
+
 // BenchmarkWorstScheduleSearch times the exhaustive worst-schedule search
 // for n=4, t=2 (the constructive Theorem 4 witness).
 func BenchmarkWorstScheduleSearch(b *testing.B) {

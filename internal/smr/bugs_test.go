@@ -1,0 +1,151 @@
+package smr_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/smr"
+)
+
+// TestCommandEncodingCollisionFree pins the scale-track fix: the seed's
+// slot*1000+id encoding aliased Command(s, 1000) with Command(s+1, 0), so
+// replica ids >= 1000 silently collided across slots. The widened encoding
+// must keep every (slot, id) pair distinct through n=4096.
+func TestCommandEncodingCollisionFree(t *testing.T) {
+	// The exact aliasing pair of the seed encoding.
+	if smr.Command(3, 1000) == smr.Command(4, 0) {
+		t.Fatal("Command(3, 1000) == Command(4, 0): the slot*1000+id aliasing is back")
+	}
+	const n = 4096
+	seen := make(map[sim.Value]struct{}, 8*n)
+	for slot := 1; slot <= 8; slot++ {
+		for id := sim.ProcID(1); id <= n; id++ {
+			v := smr.Command(slot, id)
+			if _, dup := seen[v]; dup {
+				t.Fatalf("Command(%d, %d) = %d collides with an earlier pair", slot, id, int64(v))
+			}
+			seen[v] = struct{}{}
+		}
+	}
+	// Large-slot values stay clear of each other and of sim.NoValue.
+	if smr.Command(1<<30, 1) == smr.Command(1<<30+1, 1) {
+		t.Error("large slots collide")
+	}
+	if smr.Command(1<<30, n) == sim.NoValue {
+		t.Error("command encoding produced the NoValue sentinel")
+	}
+}
+
+// TestCommandRangeChecks pins the panics on out-of-field arguments.
+func TestCommandRangeChecks(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("id over field", func() { smr.Command(1, 1<<smr.CommandIDBits) })
+	mustPanic("negative id", func() { smr.Command(1, -1) })
+	mustPanic("negative slot", func() { smr.Command(-1, 1) })
+	mustPanic("slot over field", func() { smr.Command(1<<43, 1) })
+	// The field boundaries themselves are legal.
+	_ = smr.Command(1, 1<<smr.CommandIDBits-1)
+	_ = smr.Command(1<<42-1, 1)
+}
+
+// TestRunReusesOneEngine pins the harness routing fix: a multi-slot log must
+// build exactly one (Reusable) engine and route every further slot through
+// it, instead of constructing a fresh engine per slot.
+func TestRunReusesOneEngine(t *testing.T) {
+	res, err := smr.Run(smr.Config{N: 6, Slots: 25,
+		CrashDuringSlot: map[sim.ProcID]int{2: 7}, RotateLeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnginesBuilt != 1 {
+		t.Errorf("EnginesBuilt = %d, want 1", res.EnginesBuilt)
+	}
+	if res.EngineReuses != 24 {
+		t.Errorf("EngineReuses = %d, want 24 (one per slot after the first)", res.EngineReuses)
+	}
+}
+
+// TestRunAllocsReflectEngineReuse gates the reuse path in allocation terms:
+// per-slot cost must sit well under the seed's construct-an-engine-per-slot
+// regime (~170 allocs per n=8 instance at the PR 1 baseline; the reused
+// engine serves a failure-free slot for a fraction of that).
+func TestRunAllocsReflectEngineReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	const slots = 50
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := smr.Run(smr.Config{N: 8, Slots: slots}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perSlot := avg / slots
+	if perSlot > 100 {
+		t.Errorf("allocs per slot = %.1f, want <= 100 (engine reuse lost?)", perSlot)
+	}
+}
+
+// TestValidateCatchesDivergence pins the divergence path of Validate, which
+// the seed never tested: equal-length divergent logs must be rejected no
+// matter which log the reference choice lands on, and the error must be
+// deterministic.
+func TestValidateCatchesDivergence(t *testing.T) {
+	res := &smr.Result{Logs: map[sim.ProcID][]sim.Value{
+		1: {smr.Command(1, 1), smr.Command(2, 1)},
+		2: {smr.Command(1, 1), smr.Command(2, 2)},
+	}}
+	err := smr.Validate(res)
+	if err == nil {
+		t.Fatal("equal-length divergent logs validated")
+	}
+	for i := 0; i < 20; i++ {
+		if again := smr.Validate(res); again == nil || again.Error() != err.Error() {
+			t.Fatalf("validation error is nondeterministic: %q vs %q", err, again)
+		}
+	}
+	if !strings.Contains(err.Error(), "slot 2") {
+		t.Errorf("error %q does not name the divergent slot", err)
+	}
+}
+
+// TestValidateDivergentPrefix rejects a shorter log that contradicts the
+// longest one (the classic crashed-replica divergence).
+func TestValidateDivergentPrefix(t *testing.T) {
+	res := &smr.Result{Logs: map[sim.ProcID][]sim.Value{
+		1: {smr.Command(1, 1)},
+		2: {smr.Command(1, 2), smr.Command(2, 2)},
+		3: {smr.Command(1, 2), smr.Command(2, 2)},
+	}}
+	if err := smr.Validate(res); err == nil {
+		t.Fatal("divergent prefix validated")
+	}
+	// And a true prefix passes.
+	ok := &smr.Result{Logs: map[sim.ProcID][]sim.Value{
+		1: {smr.Command(1, 2)},
+		2: {smr.Command(1, 2), smr.Command(2, 2)},
+	}}
+	if err := smr.Validate(ok); err != nil {
+		t.Fatalf("true prefix rejected: %v", err)
+	}
+}
+
+// TestValidateEmptyAndSingle covers the degenerate shapes.
+func TestValidateEmptyAndSingle(t *testing.T) {
+	if err := smr.Validate(&smr.Result{Logs: map[sim.ProcID][]sim.Value{}}); err != nil {
+		t.Errorf("empty result rejected: %v", err)
+	}
+	if err := smr.Validate(&smr.Result{Logs: map[sim.ProcID][]sim.Value{
+		1: {smr.Command(1, 1)},
+	}}); err != nil {
+		t.Errorf("single log rejected: %v", err)
+	}
+}

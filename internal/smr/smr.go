@@ -14,9 +14,11 @@ package smr
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/consensus/earlystop"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/laws"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -75,6 +77,14 @@ type Result struct {
 	Ledger metrics.Ledger
 	// Crashed maps dead replicas to the slot they died in.
 	Crashed map[sim.ProcID]int
+	// EnginesBuilt and EngineReuses account for the run's harness cache:
+	// every slot executes on the same reused engine, so a cfg.Slots-slot log
+	// builds one engine and reuses it cfg.Slots-1 times. (The seed
+	// constructed a fresh sim.Engine per slot — pure waste once every engine
+	// became Reusable.)
+	EnginesBuilt int
+	// EngineReuses counts slots served by the already-built engine.
+	EngineReuses int
 }
 
 // RoundsPerCommit returns the throughput metric: total rounds divided by
@@ -86,10 +96,30 @@ func (r *Result) RoundsPerCommit() float64 {
 	return float64(r.TotalRounds) / float64(len(r.RoundsPerSlot))
 }
 
+// CommandIDBits is the width of the replica-id field in a Command encoding:
+// replica ids occupy the low 20 bits, slots the bits above. The split keeps
+// the encoding collision-free for up to 2^20-1 replicas and 2^42 slots —
+// the scale track's n=4096 sits far inside the id field, and sim.NoValue
+// (-1<<62) can never be produced.
+const CommandIDBits = 20
+
+// maxCommandSlot bounds the slot field so the encoding stays positive.
+const maxCommandSlot = 1<<(62-CommandIDBits) - 1
+
 // Command returns the canonical command value replica id proposes for a
-// slot: a deterministic encoding of (slot, replica).
+// slot: a collision-free encoding of (slot, replica) with the replica id in
+// the low CommandIDBits bits. Distinct (slot, id) pairs always map to
+// distinct values — the earlier slot*1000+id encoding aliased
+// Command(s, 1000) with Command(s+1, 0) once replica ids reached 1000.
+// Out-of-range arguments are programming errors and panic.
 func Command(slot int, id sim.ProcID) sim.Value {
-	return sim.Value(int64(slot)*1000 + int64(id))
+	if id < 0 || int64(id) >= 1<<CommandIDBits {
+		panic(fmt.Sprintf("smr: replica id %d outside the %d-bit command id field", id, CommandIDBits))
+	}
+	if slot < 0 || int64(slot) > maxCommandSlot {
+		panic(fmt.Sprintf("smr: slot %d outside the command slot field (max %d)", slot, int64(maxCommandSlot)))
+	}
+	return sim.Value(int64(slot)<<CommandIDBits | int64(id))
 }
 
 // slotAdversary kills replicas scheduled for this slot and keeps previously
@@ -135,7 +165,11 @@ func permutation(n int, dead map[sim.ProcID]bool, rotate bool) []sim.ProcID {
 	return perm
 }
 
-// Run executes the replicated log and validates per-slot agreement.
+// Run executes the replicated log and validates per-slot agreement. Every
+// slot runs on one engine drawn from a per-run harness.Cache — the engines
+// are all Reusable, so the log pays one engine construction for cfg.Slots
+// instances instead of one per slot (the seed's fresh sim.NewEngine per slot
+// bypassed the reuse path entirely).
 func Run(cfg Config) (*Result, error) {
 	if cfg.N < 1 {
 		return nil, errors.New("smr: need at least one replica")
@@ -154,6 +188,8 @@ func Run(cfg Config) (*Result, error) {
 		Crashed: map[sim.ProcID]int{},
 	}
 	dead := map[sim.ProcID]bool{}
+	cache := harness.NewCache()
+	defer cache.Close()
 
 	for slot := 1; slot <= cfg.Slots; slot++ {
 		killNow := map[sim.ProcID]bool{}
@@ -173,35 +209,25 @@ func Run(cfg Config) (*Result, error) {
 		}
 		procs, model, horizon := buildInstance(cfg, proposals)
 		adv := &slotAdversary{dead: dead, killNow: killNow, perm: perm}
-		eng, err := sim.NewEngine(sim.Config{Model: model, Horizon: horizon}, procs, adv)
+		eng, err := cache.Get(harness.KindDeterministic)
 		if err != nil {
 			return res, fmt.Errorf("smr: slot %d: %w", slot, err)
 		}
-		out, err := eng.Run()
+		out, err := eng.Run(harness.Job{Model: model, Horizon: horizon, Procs: procs, Adv: adv})
 		if err != nil {
 			return res, fmt.Errorf("smr: slot %d: %w", slot, err)
 		}
-		// Audit the slot's books before trusting its outcome: conservation
-		// within the instance, and a crash budget of exactly the replicas
-		// dead or dying this slot (the slot adversary may spend no more).
-		if aerr := laws.AuditAll(out, laws.Budget{Crashes: len(dead) + len(killNow), Omissive: 0}); aerr != nil {
+		// The harness adapter audited the budget-free laws (conservation,
+		// ledger/counter consistency); the slot's crash budget is log-level
+		// knowledge the engine never sees, so its law is audited here: exactly
+		// the replicas dead or dying this slot, and nothing omissive.
+		if aerr := laws.AuditBudget(out, laws.Budget{Crashes: len(dead) + len(killNow), Omissive: 0}); aerr != nil {
 			return res, fmt.Errorf("smr: slot %d: %w", slot, aerr)
 		}
 
-		// Validate slot agreement and append to logs.
-		var committed sim.Value
-		first := true
-		for id, v := range out.Decisions {
-			if first {
-				committed = v
-				first = false
-			} else if v != committed {
-				return res, fmt.Errorf("smr: slot %d: divergent decisions %v", slot, out.Decisions)
-			}
-			_ = id
-		}
-		if first {
-			return res, fmt.Errorf("smr: slot %d: nobody decided", slot)
+		committed, err := agreedValue(out)
+		if err != nil {
+			return res, fmt.Errorf("smr: slot %d: %w", slot, err)
 		}
 		for id := range out.Decisions {
 			res.Logs[perm[id-1]] = append(res.Logs[perm[id-1]], committed)
@@ -216,7 +242,28 @@ func Run(cfg Config) (*Result, error) {
 			res.Crashed[id] = slot
 		}
 	}
+	stats := cache.Stats()
+	res.EnginesBuilt, res.EngineReuses = stats.Built, stats.ReuseHits
 	return res, nil
+}
+
+// agreedValue extracts the single agreed decision of one slot's instance, or
+// an error on divergence or an undecided instance.
+func agreedValue(out *sim.Result) (sim.Value, error) {
+	var committed sim.Value
+	first := true
+	for _, v := range out.Decisions {
+		if first {
+			committed = v
+			first = false
+		} else if v != committed {
+			return 0, fmt.Errorf("divergent decisions %v", out.Decisions)
+		}
+	}
+	if first {
+		return 0, errors.New("nobody decided")
+	}
+	return committed, nil
 }
 
 // buildInstance constructs one slot's consensus instance.
@@ -233,19 +280,36 @@ func buildInstance(cfg Config, proposals []sim.Value) ([]sim.Process, sim.Model,
 
 // Validate checks cross-replica log consistency: every pair of logs agrees
 // on their common prefix (a dead replica's log is a prefix of the
-// survivors').
+// survivors'). The reference log is chosen deterministically — the longest
+// log of the lowest replica id, so equal-length divergent logs produce the
+// same error on every run instead of depending on map iteration order — and
+// every log, including other logs of the reference's length, is compared
+// element by element against it. A log longer than the reference is
+// impossible by construction but rejected explicitly rather than trusted
+// (the seed indexed ref[i] unchecked, which would have panicked there).
 func Validate(res *Result) error {
+	ids := make([]sim.ProcID, 0, len(res.Logs))
+	for id := range res.Logs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var refID sim.ProcID
 	var ref []sim.Value
-	for _, log := range res.Logs {
-		if len(log) > len(ref) {
-			ref = log
+	for _, id := range ids {
+		if log := res.Logs[id]; len(log) > len(ref) {
+			refID, ref = id, log
 		}
 	}
-	for id, log := range res.Logs {
+	for _, id := range ids {
+		log := res.Logs[id]
+		if len(log) > len(ref) {
+			return fmt.Errorf("smr: replica %d holds %d slots, more than the longest log (%d)",
+				id, len(log), len(ref))
+		}
 		for i, v := range log {
 			if ref[i] != v {
-				return fmt.Errorf("smr: replica %d diverges at slot %d: %d vs %d",
-					id, i+1, int64(v), int64(ref[i]))
+				return fmt.Errorf("smr: replicas %d and %d diverge at slot %d: %d vs %d",
+					id, refID, i+1, int64(v), int64(ref[i]))
 			}
 		}
 	}

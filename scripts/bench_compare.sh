@@ -35,7 +35,7 @@ benchtime="${BENCHTIME:-0.3s}"
 time_threshold="${TIME_THRESHOLD:-25}"    # percent ns/op growth before warning
 alloc_threshold="${ALLOC_THRESHOLD:-10}"  # percent allocs/op growth before failing
 strict_time="${STRICT_TIME:-0}"
-pattern="${PATTERN:-^(BenchmarkE[0-9]+|BenchmarkExploreParallel|BenchmarkSweep|BenchmarkFuzz|BenchmarkDeterministicEngine|BenchmarkLockstepEngine|BenchmarkTimedEngine)}"
+pattern="${PATTERN:-^(BenchmarkE[0-9]+|BenchmarkExploreParallel|BenchmarkSweep|BenchmarkFuzz|BenchmarkDeterministicEngine|BenchmarkLockstepEngine|BenchmarkTimedEngine|BenchmarkServe|BenchmarkSMRThroughput)}"
 
 # Benchmarks whose allocs/op must match the baseline exactly: the
 # single-threaded deterministic hot paths the zero-alloc work of PR 1 pinned,
