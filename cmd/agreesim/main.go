@@ -1,0 +1,372 @@
+// Command agreesim replays the declarative scenario catalog: every checked-in
+// *.scenario file under scenarios/ describes one consensus run — protocol,
+// system size, engines, latency model, fault script — and the outcome it must
+// produce (verdict class, round bounds, simulated-time bounds). agreesim
+// loads the catalog, executes each entry on each selected engine through the
+// harness registry, and fails with a deterministic diff naming the scenario
+// file and the diverging field when any expectation breaks.
+//
+// Examples:
+//
+//	agreesim -list                              # catalog inventory
+//	agreesim -run all                           # full catalog, each scenario's own engines
+//	agreesim -run all -engines all              # full catalog forced onto every registered engine
+//	agreesim -run crash/worst-case-n8-f2        # one scenario
+//	agreesim -run all -engines deterministic    # tier-1: catalog on the deterministic engine
+//	agreesim -run all -json                     # machine-readable results
+//	agreesim -convert findings.txt -n 16 -name-prefix omission/nightly -out scenarios
+//	                                            # turn an `agreefuzz -findings-out` artifact
+//	                                            # into checked-in scenario files
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/agree"
+	"repro/internal/fuzz"
+	"repro/internal/scenario"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dir        = flag.String("dir", "scenarios", "scenario catalog directory")
+		list       = flag.Bool("list", false, "list the catalog and exit")
+		runNames   = flag.String("run", "", "scenarios to run: 'all' or a comma-separated name list")
+		engines    = flag.String("engines", "", "engine override: 'all' or a comma-separated kind list (default: each scenario's own engines)")
+		workers    = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS; any count yields identical results)")
+		jsonOut    = flag.Bool("json", false, "emit results as JSON")
+		convert    = flag.String("convert", "", "convert an agreefuzz -findings-out artifact into scenario files and exit")
+		out        = flag.String("out", "scenarios", "catalog root the converter writes under")
+		namePrefix = flag.String("name-prefix", "", "scenario name prefix for converted findings (required with -convert; e.g. omission/nightly-20260807)")
+		n          = flag.Int("n", 0, "converter: system size of the campaign the findings came from")
+		tt         = flag.Int("t", 0, "converter: resilience bound of the campaign (0 = n-1)")
+		protocol   = flag.String("protocol", "crw", "converter: protocol of the campaign")
+		engine     = flag.String("engine", "", "converter: restrict the scenario to one engine kind (default: all engines)")
+		cad        = flag.Bool("commit-as-data", false, "converter: the campaign ran the commit-as-data ablation")
+		order      = flag.String("order", "desc", "converter: commit order of the campaign (desc or asc)")
+
+		latProfile = flag.String("lat-profile", "", "converter: LAN latency profile of the campaign (100m, 1g, 10g)")
+		latD       = flag.Float64("lat-d", 0, "converter: synchrony bound D of the campaign's latency model")
+		latDelta   = flag.Float64("lat-delta", 0, "converter: control-step extension δ")
+		latFloor   = flag.Float64("lat-floor", 0, "converter: jitter latency floor")
+		latSpread  = flag.Float64("lat-spread", 0, "converter: jitter width")
+		latSeed    = flag.Int64("lat-seed", 1, "converter: jitter seed")
+	)
+	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "agreesim:", err)
+		return 1
+	}
+
+	if *convert != "" {
+		lat, err := convertLatency(*latProfile, *latD, *latDelta, *latFloor, *latSpread, *latSeed)
+		if err != nil {
+			return fail(err)
+		}
+		if *order != "desc" && *order != "asc" {
+			return fail(fmt.Errorf("bad -order %q (want desc or asc)", *order))
+		}
+		err = convertFindings(convertConfig{
+			findings: *convert, out: *out, prefix: *namePrefix,
+			n: *n, t: *tt, protocol: *protocol, engine: *engine, latency: lat,
+			commitAsData: *cad, orderAscending: *order == "asc",
+			workers: *workers,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	if *list {
+		entries, err := scenario.LoadDir(*dir)
+		if err != nil {
+			return fail(err)
+		}
+		for _, e := range entries {
+			sc := e.Scenario
+			eng := "all"
+			if len(sc.Engines) > 0 {
+				eng = strings.Join(sc.Engines, ",")
+			}
+			fmt.Printf("%-44s n=%-3d expect=%-12s engines=%-30s %s\n", sc.Name, sc.N, sc.Expect.Verdict, eng, sc.Info)
+		}
+		fmt.Printf("%d scenarios under %s\n", len(entries), *dir)
+		return 0
+	}
+
+	if *runNames == "" {
+		flag.Usage()
+		return 1
+	}
+	opts := agree.ScenarioOptions{Dir: *dir, Workers: *workers}
+	if *runNames != "all" {
+		opts.Names = strings.Split(*runNames, ",")
+		for i := range opts.Names {
+			opts.Names[i] = strings.TrimSpace(opts.Names[i])
+		}
+	}
+	if *engines != "" {
+		if *engines == "all" {
+			for _, info := range agree.Engines() {
+				opts.Engines = append(opts.Engines, info.Kind)
+			}
+		} else {
+			for _, e := range strings.Split(*engines, ",") {
+				opts.Engines = append(opts.Engines, agree.EngineKind(strings.TrimSpace(e)))
+			}
+		}
+	}
+	rep, err := agree.RunScenarios(opts)
+	if err != nil {
+		return fail(err)
+	}
+	if *jsonOut {
+		if err := printJSON(rep); err != nil {
+			return fail(err)
+		}
+	} else {
+		printText(rep)
+	}
+	if rep.Failed > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printText renders the results one line per (scenario, engine) run, with
+// expectation mismatches spelled out and a trailing summary.
+func printText(rep *agree.ScenarioReport) {
+	for _, r := range rep.Results {
+		switch {
+		case r.Skipped:
+			fmt.Printf("skip %-44s %-13s (%s)\n", r.Name, r.Engine, r.SkipReason)
+		case r.Err != nil:
+			fmt.Printf("FAIL %-44s %-13s %v\n", r.Name, r.Engine, r.Err)
+		default:
+			line := fmt.Sprintf("ok   %-44s %-13s verdict=%s rounds=%d decide=%d",
+				r.Name, r.Engine, r.Verdict, r.Rounds, r.MaxDecideRound)
+			if r.SimTime > 0 {
+				line += fmt.Sprintf(" simtime=%g", r.SimTime)
+			}
+			fmt.Println(line)
+		}
+	}
+	fmt.Printf("scenarios %d, runs %d (skipped %d), failures %d\n",
+		rep.Scenarios, rep.Ran, rep.Skipped, rep.Failed)
+}
+
+// jsonResult is the machine-readable shape of one result.
+type jsonResult struct {
+	Name           string  `json:"name"`
+	File           string  `json:"file"`
+	Engine         string  `json:"engine"`
+	Skipped        bool    `json:"skipped,omitempty"`
+	SkipReason     string  `json:"skipReason,omitempty"`
+	Verdict        string  `json:"verdict,omitempty"`
+	Rounds         int     `json:"rounds,omitempty"`
+	MaxDecideRound int     `json:"maxDecideRound,omitempty"`
+	SimTime        float64 `json:"simTime,omitempty"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// printJSON renders the full report as JSON in deterministic order.
+func printJSON(rep *agree.ScenarioReport) error {
+	type jsonReport struct {
+		Scenarios int          `json:"scenarios"`
+		Ran       int          `json:"ran"`
+		Skipped   int          `json:"skipped"`
+		Failed    int          `json:"failed"`
+		Results   []jsonResult `json:"results"`
+	}
+	jr := jsonReport{Scenarios: rep.Scenarios, Ran: rep.Ran, Skipped: rep.Skipped, Failed: rep.Failed}
+	for _, r := range rep.Results {
+		res := jsonResult{
+			Name: r.Name, File: r.File, Engine: string(r.Engine),
+			Skipped: r.Skipped, SkipReason: r.SkipReason,
+			Verdict: r.Verdict, Rounds: r.Rounds, MaxDecideRound: r.MaxDecideRound,
+			SimTime: r.SimTime,
+		}
+		if r.Err != nil {
+			res.Error = r.Err.Error()
+		}
+		jr.Results = append(jr.Results, res)
+	}
+	data, err := json.MarshalIndent(jr, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// convertLatency maps the converter's latency flags onto the scenario
+// format's latency value (mirroring agree.LatencyFromFlags precedence:
+// profile, then jitter, then fixed).
+func convertLatency(profile string, d, delta, floor, spread float64, seed int64) (scenario.Latency, error) {
+	switch {
+	case profile != "":
+		if d != 0 || delta != 0 || floor != 0 || spread != 0 {
+			return scenario.Latency{}, fmt.Errorf("-lat-profile cannot be combined with the other -lat-* flags")
+		}
+		return scenario.Latency{Kind: "profile", Profile: profile}, nil
+	case spread != 0:
+		if d == 0 {
+			return scenario.Latency{}, fmt.Errorf("-lat-spread requires -lat-d (the synchrony bound)")
+		}
+		return scenario.Latency{Kind: "jitter", Seed: seed, D: d, Delta: delta, Floor: floor, Spread: spread}, nil
+	case d != 0:
+		if floor != 0 {
+			return scenario.Latency{}, fmt.Errorf("-lat-floor only applies to the jitter model; give -lat-spread as well")
+		}
+		return scenario.Latency{Kind: "fixed", D: d, Delta: delta}, nil
+	default:
+		if delta != 0 || floor != 0 {
+			return scenario.Latency{}, fmt.Errorf("-lat-delta/-lat-floor need a latency model; give -lat-d (and -lat-spread for jitter)")
+		}
+		return scenario.Latency{}, nil
+	}
+}
+
+// convertConfig carries the converter's inputs: the campaign parameters the
+// findings artifact was produced under, and where the scenario files go.
+type convertConfig struct {
+	findings       string
+	out            string
+	prefix         string
+	n, t           int
+	protocol       string
+	engine         string
+	latency        scenario.Latency
+	commitAsData   bool
+	orderAscending bool
+	workers        int
+}
+
+// convertFindings turns each replay script of an agreefuzz findings artifact
+// into a scenario file: the script is re-executed under the campaign's
+// parameters, the observed verdict and bounds become the scenario's
+// expectations, and the expectation-checked scenario is confirmed green
+// before it is written — so every converted file is a passing catalog entry
+// from the moment it lands.
+func convertFindings(cfg convertConfig) error {
+	if cfg.prefix == "" {
+		return fmt.Errorf("-convert requires -name-prefix (e.g. omission/nightly-20260807)")
+	}
+	if cfg.n < 1 {
+		return fmt.Errorf("-convert requires -n (the campaign's system size)")
+	}
+	data, err := os.ReadFile(cfg.findings)
+	if err != nil {
+		return err
+	}
+	scripts, err := fuzz.ParseFindings(string(data))
+	if err != nil {
+		return err
+	}
+	if len(scripts) == 0 {
+		fmt.Printf("no findings in %s; nothing to convert\n", cfg.findings)
+		return nil
+	}
+	written := 0
+	for i, script := range scripts {
+		if mp := script.MaxProc(); mp > cfg.n {
+			return fmt.Errorf("finding %d names p%d but the campaign size is n=%d", i+1, mp, cfg.n)
+		}
+		sc := &scenario.Scenario{
+			Name:           fmt.Sprintf("%s-%d", cfg.prefix, i+1),
+			Info:           fmt.Sprintf("converted from fuzz finding %d of %s", i+1, filepath.Base(cfg.findings)),
+			Protocol:       cfg.protocol,
+			N:              cfg.n,
+			T:              cfg.t,
+			CommitAsData:   cfg.commitAsData,
+			OrderAscending: cfg.orderAscending,
+			Latency:        cfg.latency,
+			Faults:         script.String(),
+			Expect:         scenario.Expect{Verdict: scenario.VerdictPass},
+		}
+		if cfg.engine != "" {
+			sc.Engines = []string{cfg.engine}
+		}
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+		if err := pinExpectations(sc, cfg.workers); err != nil {
+			return fmt.Errorf("finding %d (%q): %w", i+1, script.String(), err)
+		}
+		path := filepath.Join(cfg.out, filepath.FromSlash(sc.Name)+scenario.Ext)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, []byte(sc.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (expect=%s rounds=%d decide<=%d)\n",
+			path, sc.Expect.Verdict, sc.Expect.Rounds, sc.Expect.DecideRoundMax)
+		written++
+	}
+	fmt.Printf("converted %d findings into %s\n", written, cfg.out)
+	return nil
+}
+
+// pinExpectations executes a scenario, records the observed verdict and round
+// outcome as its expectation, and re-executes to confirm the pinned scenario
+// is green. Engines must agree on the observed outcome (scenario scripts are
+// order-insensitive); a divergence is an error, not a silently single-engine
+// pin.
+func pinExpectations(sc *scenario.Scenario, workers int) error {
+	observe := func() (*agree.ScenarioReport, error) {
+		return agree.RunScenarios(agree.ScenarioOptions{
+			Sources: []agree.ScenarioSource{{File: "converted", Text: sc.String()}},
+			Workers: workers,
+		})
+	}
+	rep, err := observe()
+	if err != nil {
+		return err
+	}
+	pinned := false
+	for _, r := range rep.Results {
+		if r.Skipped {
+			continue
+		}
+		if !pinned {
+			sc.Expect = scenario.Expect{
+				Verdict:        r.Verdict,
+				Rounds:         r.Rounds,
+				DecideRoundMax: r.MaxDecideRound,
+			}
+			pinned = true
+			continue
+		}
+		if r.Verdict != sc.Expect.Verdict || r.Rounds != sc.Expect.Rounds ||
+			r.MaxDecideRound > sc.Expect.DecideRoundMax {
+			return fmt.Errorf("engines diverge on the observed outcome (%s: verdict=%s rounds=%d decide=%d vs pinned verdict=%s rounds=%d decide<=%d)",
+				r.Engine, r.Verdict, r.Rounds, r.MaxDecideRound,
+				sc.Expect.Verdict, sc.Expect.Rounds, sc.Expect.DecideRoundMax)
+		}
+	}
+	if !pinned {
+		return fmt.Errorf("no engine could execute the scenario")
+	}
+	rep, err = observe()
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		if r.Err != nil {
+			return fmt.Errorf("pinned expectation did not hold on re-run: %w", r.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseFindings decodes an `agreefuzz -findings-out` artifact: one replay
+// script per line, blank lines ignored. Each script is parsed and validated;
+// a malformed line is an error naming its line number. This is the bridge
+// from a fuzz campaign's counterexample artifact to the scenario catalog
+// (cmd/agreesim -convert): every finding becomes a checked-in scenario file,
+// not a flag incantation.
+func ParseFindings(text string) ([]Script, error) {
+	var out []Script
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		s, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: findings line %d: %w", ln+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// MaxProc returns the highest process id the script names (0 for the empty
+// script) — the minimum system size a replay needs.
+func (s Script) MaxProc() int {
+	max := 0
+	for _, e := range s.Events {
+		if e.Proc > max {
+			max = e.Proc
+		}
+		if len(e.From) > max {
+			max = len(e.From)
+		}
+	}
+	return max
+}

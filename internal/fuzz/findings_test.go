@@ -1,0 +1,54 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFindings(t *testing.T) {
+	text := "p1@r1:/0\n\n  p1@r1:00000/0;p2@r2:1111/1  \n\np2@r1:ro:011\n"
+	scripts, err := ParseFindings(text)
+	if err != nil {
+		t.Fatalf("ParseFindings: %v", err)
+	}
+	want := []string{"p1@r1:/0", "p1@r1:00000/0;p2@r2:1111/1", "p2@r1:ro:011"}
+	if len(scripts) != len(want) {
+		t.Fatalf("got %d scripts, want %d", len(scripts), len(want))
+	}
+	for i, s := range scripts {
+		if s.String() != want[i] {
+			t.Errorf("script %d = %q, want %q", i, s, want[i])
+		}
+	}
+	if got, err := ParseFindings("\n\n"); err != nil || got != nil {
+		t.Fatalf("blank artifact: got %v, %v", got, err)
+	}
+}
+
+func TestParseFindingsNamesBadLine(t *testing.T) {
+	_, err := ParseFindings("p1@r1:/0\nnot a script\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed line not named: %v", err)
+	}
+}
+
+func TestScriptMaxProc(t *testing.T) {
+	cases := []struct {
+		script string
+		want   int
+	}{
+		{"", 0},
+		{"p3@r1:/0", 3},
+		{"p1@r1:ro:01100", 5},
+		{"p2@r1:/0;p7@r2:ro:011", 7},
+	}
+	for _, tc := range cases {
+		s, err := Parse(tc.script)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.script, err)
+		}
+		if got := s.MaxProc(); got != tc.want {
+			t.Errorf("MaxProc(%q) = %d, want %d", tc.script, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Ext is the file extension of scenario files.
+const Ext = ".scenario"
+
+// Entry is one catalog entry: a scenario with the file it came from.
+type Entry struct {
+	// File is the path the scenario was loaded from (relative to the catalog
+	// root for LoadDir entries, verbatim for LoadFile).
+	File string
+	// Scenario is the parsed scenario.
+	Scenario *Scenario
+}
+
+// LoadFile parses one scenario file.
+func LoadFile(path string) (Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Entry{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(string(data))
+	if err != nil {
+		return Entry{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return Entry{File: path, Scenario: s}, nil
+}
+
+// LoadDir loads every *.scenario file under dir (recursively) and returns the
+// entries sorted by scenario name. The catalog discipline is enforced here:
+// each scenario's name must equal its file path relative to dir without the
+// extension, which makes names unique, greppable, and stable across loads.
+func LoadDir(dir string) ([]Entry, error) {
+	var entries []Entry
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, Ext) {
+			return nil
+		}
+		e, err := LoadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		e.File = filepath.ToSlash(rel)
+		if want := strings.TrimSuffix(e.File, Ext); e.Scenario.Name != want {
+			return fmt.Errorf("scenario: %s: name %q does not match its path (want %q)",
+				filepath.Join(dir, rel), e.Scenario.Name, want)
+		}
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("scenario: no %s files under %s", Ext, dir)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Scenario.Name < entries[j].Scenario.Name })
+	return entries, nil
+}

@@ -1,0 +1,37 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioRoundTrip fuzzes the format's canonical-serialization contract:
+// any text the strict parser accepts must serialize to a canonical form that
+// parses back to the identical value, with String a fixpoint — and hostile
+// inputs must be rejected with an error, never a panic. The seed corpus under
+// testdata/fuzz/FuzzScenarioRoundTrip covers every key of the format plus the
+// catalog's scenario classes (crash, omission, timing-fault, ablation).
+func FuzzScenarioRoundTrip(f *testing.F) {
+	f.Add(fullExample)
+	f.Add("scenario: minimal\nn: 1\nexpect: pass\n")
+	f.Add("scenario: a/b.c_d-e\nn: 3\nt: 1\nproposals: -1,0,9223372036854775807\nexpect: law:crash-budget\n")
+	f.Add("scenario: x\nn: 3\nlatency: jitter seed=-1 d=0.1 delta=1e-9 floor=0 spread=2.25\nfaults: p1@r1:ro:100;p2@r3:so:110/101\nexpect: termination\n")
+	f.Add("n: 0\nexpect:\nlatency: warp q=1\nfaults: p0@r0")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(text)
+		if err != nil {
+			return // rejected input; the contract only covers accepted text
+		}
+		canon := s.String()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form of accepted input does not parse: %v\ninput: %q\ncanonical: %q", err, text, canon)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed the value:\ninput: %q\nfirst  %+v\nsecond %+v", text, s, s2)
+		}
+		if again := s2.String(); again != canon {
+			t.Fatalf("String is not a fixpoint:\ninput: %q\nfirst  %q\nsecond %q", text, canon, again)
+		}
+	})
+}

@@ -1,0 +1,350 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/laws"
+	"repro/internal/sim"
+)
+
+// fullExample exercises every key of the format.
+const fullExample = `# a hand-written scenario with comments and shuffled keys
+expect: pass
+scenario: crash/worst-case-n8-f2
+info: coordinator killer forces CRW to its f+1 bound
+n: 8
+
+protocol: crw
+t: 3
+proposals: 7, 7, 3, 3, 9, 9, 1, 1
+engines: deterministic,timed
+latency: jitter seed=3 d=1 delta=0.1 floor=0.25 spread=0.5
+faults: p1@r1:/0;p2@r2:/0
+rounds: 4
+decide-round-max: 3
+simtime: 4.4
+simtime-max: 5
+`
+
+func TestParseFullExample(t *testing.T) {
+	s, err := Parse(fullExample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := &Scenario{
+		Name:      "crash/worst-case-n8-f2",
+		Info:      "coordinator killer forces CRW to its f+1 bound",
+		Protocol:  "crw",
+		N:         8,
+		T:         3,
+		Proposals: []int64{7, 7, 3, 3, 9, 9, 1, 1},
+		Engines:   []string{"deterministic", "timed"},
+		Latency:   Latency{Kind: "jitter", Seed: 3, D: 1, Delta: 0.1, Floor: 0.25, Spread: 0.5},
+		Faults:    "p1@r1:/0;p2@r2:/0",
+		Expect:    Expect{Verdict: "pass", Rounds: 4, DecideRoundMax: 3, SimTime: 4.4, SimTimeMax: 5},
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("Parse mismatch:\ngot  %+v\nwant %+v", s, want)
+	}
+}
+
+func TestRoundTripAndFixpoint(t *testing.T) {
+	texts := []string{
+		fullExample,
+		"scenario: minimal\nn: 1\nexpect: pass\n",
+		"scenario: omission/receive\nn: 3\nfaults: p1@r1:ro:110\nexpect: pass\n",
+		"scenario: ablation/commit-as-data\nn: 5\ncommit-as-data: true\norder: asc\nfaults: p1@r1:10110/0\nexpect: agreement\n",
+		"scenario: timed/profile\nn: 4\nengines: timed\nlatency: profile 1g\nexpect: pass\nsimtime-max: 0.001\n",
+		"scenario: timed/fixed\nn: 4\nlatency: fixed d=1 delta=0.125\nexpect: pass\n",
+	}
+	for _, text := range texts {
+		s, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		canon := s.String()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(String()) of %q: %v", text, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Errorf("round trip of %q changed the value:\ngot  %+v\nwant %+v", text, s2, s)
+		}
+		if again := s2.String(); again != canon {
+			t.Errorf("String not a fixpoint for %q:\nfirst  %q\nsecond %q", text, canon, again)
+		}
+	}
+}
+
+func TestStringOmitsDefaults(t *testing.T) {
+	s, err := Parse("scenario: minimal\nn: 3\norder: desc\ncommit-as-data: false\nexpect: pass\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got, want := s.String(), "scenario: minimal\nn: 3\nexpect: pass\n"; got != want {
+		t.Fatalf("String: got %q, want %q", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	valid := "scenario: ok\nn: 3\nexpect: pass\n"
+	if _, err := Parse(valid); err != nil {
+		t.Fatalf("baseline %q must parse: %v", valid, err)
+	}
+	cases := []struct {
+		name, text, want string
+	}{
+		{"not key-value", "scenario ok\nn: 3\nexpect: pass\n", "not \"key: value\""},
+		{"unknown key", valid + "bogus: 1\n", "unknown key"},
+		{"duplicate key", valid + "n: 4\n", "duplicate key"},
+		{"empty value", "scenario:\nn: 3\nexpect: pass\n", "no value"},
+		{"missing scenario", "n: 3\nexpect: pass\n", `required key "scenario" missing`},
+		{"missing n", "scenario: ok\nexpect: pass\n", `required key "n" missing`},
+		{"missing expect", "scenario: ok\nn: 3\n", `required key "expect" missing`},
+		{"bad n", "scenario: ok\nn: three\nexpect: pass\n", "bad n"},
+		{"zero n", "scenario: ok\nn: 0\nexpect: pass\n", "at least 1"},
+		{"t out of range", "scenario: ok\nn: 3\nt: 3\nexpect: pass\n", "out of range"},
+		{"bad name", "scenario: Bad/Name\nn: 3\nexpect: pass\n", "bad name"},
+		{"dotdot name", "scenario: a/../b\nn: 3\nexpect: pass\n", "bad name"},
+		{"bad proposal", "scenario: ok\nn: 3\nproposals: 1,x,3\nexpect: pass\n", "bad proposal"},
+		{"proposal count", "scenario: ok\nn: 3\nproposals: 1,2\nexpect: pass\n", "2 proposals for 3 processes"},
+		{"bad protocol", "scenario: ok\nn: 3\nprotocol: paxos\nexpect: pass\n", "unknown protocol"},
+		{"ablation on baseline", "scenario: ok\nn: 3\nprotocol: floodset\norder: asc\nexpect: pass\n", "crw protocol only"},
+		{"bad order", "scenario: ok\nn: 3\norder: sideways\nexpect: pass\n", "bad order"},
+		{"engines all", "scenario: ok\nn: 3\nengines: all\nexpect: pass\n", "omit the engines key"},
+		{"engines unsorted", "scenario: ok\nn: 3\nengines: timed,deterministic\nexpect: pass\n", "sorted order"},
+		{"engines duplicate", "scenario: ok\nn: 3\nengines: timed,timed\nexpect: pass\n", "duplicate engine"},
+		{"bad verdict", "scenario: ok\nn: 3\nexpect: maybe\n", "unknown expect"},
+		{"bare law verdict", "scenario: ok\nn: 3\nexpect: law:\n", "unknown expect"},
+		{"negative rounds", "scenario: ok\nn: 3\nexpect: pass\nrounds: -1\n", "negative round"},
+		{"bad simtime", "scenario: ok\nn: 3\nexpect: pass\nsimtime: NaN\n", "bad simtime"},
+		{"inf simtime-max", "scenario: ok\nn: 3\nexpect: pass\nsimtime-max: +Inf\n", "bad simtime-max"},
+		{"simtime needs timed", "scenario: ok\nn: 3\nengines: deterministic\nexpect: pass\nsimtime: 1\n", "timed engine"},
+		{"bad script", "scenario: ok\nn: 3\nfaults: p1r1\nexpect: pass\n", "fuzz:"},
+		{"script beyond n", "scenario: ok\nn: 3\nfaults: p4@r1:/0\nexpect: pass\n", "nonexistent p4"},
+		{"ctrl beyond n", "scenario: ok\nn: 3\nfaults: p1@r1:/3\nexpect: pass\n", "control prefix"},
+		{"recv mask beyond n", "scenario: ok\nn: 3\nfaults: p1@r1:ro:1110\nexpect: pass\n", "senders"},
+		{"no survivor", "scenario: ok\nn: 2\nfaults: p1@r1:/0;p2@r1:/0\nexpect: pass\n", "survivor"},
+		{"non-canonical script", "scenario: ok\nn: 3\nfaults: p2@r2:/0;p1@r1:/0\nexpect: pass\n", "canonical event order"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.text)
+		if err == nil {
+			t.Errorf("%s: Parse accepted %q", tc.name, tc.text)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseLatency(t *testing.T) {
+	good := map[string]Latency{
+		"fixed d=1 delta=0":   {Kind: "fixed", D: 1},
+		"fixed delta=0.5 d=2": {Kind: "fixed", D: 2, Delta: 0.5},
+		"profile 100m":        {Kind: "profile", Profile: "100m"},
+		"jitter seed=-7 d=1 delta=0 floor=0 spread=0.25": {Kind: "jitter", Seed: -7, D: 1, Spread: 0.25},
+	}
+	for text, want := range good {
+		got, err := parseLatency(text)
+		if err != nil {
+			t.Errorf("parseLatency(%q): %v", text, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseLatency(%q) = %+v, want %+v", text, got, want)
+		}
+	}
+	bad := map[string]string{
+		"":                          "empty latency",
+		"warp d=1":                  "unknown latency kind",
+		"fixed d=1":                 `"delta" missing`,
+		"fixed d=1 delta=0 x=2":     "unknown parameter",
+		"fixed d=1 delta=0 d=2":     "duplicate parameter",
+		"fixed d=zero delta=0":      "bad d value",
+		"fixed d=0 delta=0":         "must be positive",
+		"fixed d=1 delta=-1":        "negative",
+		"fixed d=Inf delta=0":       "not finite",
+		"profile":                   "profile name missing",
+		"profile 1g 10g":            "exactly one bare profile name",
+		"profile token-ring":        "unknown LAN profile",
+		"jitter seed=1 d=1 delta=0": `missing`,
+		"jitter seed=1.5 d=1 delta=0 floor=0 spread=1": "bad seed value",
+	}
+	for text, want := range bad {
+		_, err := parseLatency(text)
+		if err == nil {
+			t.Errorf("parseLatency(%q) accepted", text)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("parseLatency(%q) error %q does not mention %q", text, err, want)
+		}
+	}
+}
+
+func TestLatencyWithinBound(t *testing.T) {
+	if !(Latency{}).WithinBound() {
+		t.Error("zero latency must be within bound")
+	}
+	if !(Latency{Kind: "jitter", D: 1, Floor: 0.5, Spread: 0.5}).WithinBound() {
+		t.Error("floor+spread == d is within bound")
+	}
+	if (Latency{Kind: "jitter", D: 1, Floor: 0.6, Spread: 2.4}).WithinBound() {
+		t.Error("floor+spread > d is out of bound")
+	}
+}
+
+func TestConsensusOnly(t *testing.T) {
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"scenario: a\nn: 3\nfaults: p1@r1:/0\nexpect: pass\n", false},
+		{"scenario: b\nn: 3\nfaults: p1@r1:so:110/111\nexpect: pass\n", true},
+		{"scenario: c\nn: 3\nfaults: p1@r1:ro:110\nexpect: pass\n", true},
+		{"scenario: d\nn: 3\nlatency: jitter seed=1 d=1 delta=0.1 floor=0.6 spread=2.4\nexpect: pass\n", true},
+		{"scenario: e\nn: 3\nlatency: jitter seed=1 d=1 delta=0.1 floor=0.1 spread=0.8\nexpect: pass\n", false},
+	}
+	for _, tc := range cases {
+		s, err := Parse(tc.text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.text, err)
+		}
+		if got := s.ConsensusOnly(); got != tc.want {
+			t.Errorf("ConsensusOnly(%s) = %v, want %v", s.Name, got, tc.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, VerdictPass},
+		{fmt.Errorf("wrap: %w", check.ErrValidity), VerdictValidity},
+		{fmt.Errorf("wrap: %w", check.ErrAgreement), VerdictAgreement},
+		{fmt.Errorf("wrap: %w", check.ErrTermination), VerdictTermination},
+		{fmt.Errorf("wrap: %w", check.ErrRoundBound), VerdictRoundBound},
+		{fmt.Errorf("wrap: %w", sim.ErrNoProgress), VerdictNoProgress},
+		{fmt.Errorf("wrap: %w", &laws.Violation{Law: laws.LawCrashBudget, Detail: "x"}), "law:crash-budget"},
+		{errors.New("engine exploded"), VerdictError},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestCheckDiffs(t *testing.T) {
+	s, err := Parse("scenario: crash/pinned\nn: 4\nexpect: pass\nrounds: 2\ndecide-round-max: 1\nsimtime: 2.2\nsimtime-max: 2.5\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ok := Outcome{Verdict: VerdictPass, Rounds: 2, MaxDecideRound: 1, SimTime: 2.2, Timed: true}
+	if err := s.Check("crash/pinned.scenario", "timed", ok); err != nil {
+		t.Fatalf("matching outcome must pass: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(Outcome) Outcome
+		mention []string
+	}{
+		{"verdict", func(o Outcome) Outcome { o.Verdict = VerdictAgreement; return o },
+			[]string{"verdict agreement, expected pass"}},
+		{"rounds", func(o Outcome) Outcome { o.Rounds = 3; return o },
+			[]string{"rounds 3, expected 2"}},
+		{"decide round", func(o Outcome) Outcome { o.MaxDecideRound = 2; return o },
+			[]string{"decide round 2, expected <= 1"}},
+		{"simtime exact", func(o Outcome) Outcome { o.SimTime = 2.3; return o },
+			[]string{"simtime 2.3, expected 2.2"}},
+	}
+	for _, tc := range cases {
+		err := s.Check("crash/pinned.scenario", "timed", tc.mutate(ok))
+		if err == nil {
+			t.Errorf("%s: divergence not caught", tc.name)
+			continue
+		}
+		for _, want := range append(tc.mention, "crash/pinned.scenario", "timed", `scenario "crash/pinned"`) {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q does not mention %q", tc.name, err, want)
+			}
+		}
+	}
+	// Round engines run the same schedule unpriced: simtime expectations are
+	// checked on timed engines only.
+	unpriced := ok
+	unpriced.SimTime, unpriced.Timed = 0, false
+	if err := s.Check("crash/pinned.scenario", "deterministic", unpriced); err != nil {
+		t.Fatalf("simtime must not be checked on round engines: %v", err)
+	}
+	// simtime-max is a bound, not an exact value.
+	over := ok
+	over.SimTime = 2.6
+	s2 := *s
+	s2.Expect.SimTime = 0
+	if err := s2.Check("f", "timed", over); err == nil || !strings.Contains(err.Error(), "<= 2.5") {
+		t.Fatalf("simtime-max bound not enforced: %v", err)
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, text string) {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("crash/b.scenario", "scenario: crash/b\nn: 3\nexpect: pass\n")
+	write("crash/a.scenario", "scenario: crash/a\nn: 3\nexpect: pass\n")
+	write("notes.txt", "not a scenario\n")
+	entries, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(entries) != 2 || entries[0].Scenario.Name != "crash/a" || entries[1].Scenario.Name != "crash/b" {
+		t.Fatalf("LoadDir entries wrong: %+v", entries)
+	}
+	if entries[0].File != "crash/a.scenario" {
+		t.Fatalf("entry file %q not relative to the catalog root", entries[0].File)
+	}
+
+	write("crash/misnamed.scenario", "scenario: crash/other\nn: 3\nexpect: pass\n")
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "does not match its path") {
+		t.Fatalf("name-path mismatch not caught: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, "crash", "misnamed.scenario")); err != nil {
+		t.Fatal(err)
+	}
+
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil || !strings.Contains(err.Error(), "no .scenario files") {
+		t.Fatalf("empty catalog not caught: %v", err)
+	}
+}
+
+func TestLoadFileErrorNamesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.scenario")
+	if err := os.WriteFile(path, []byte("scenario: broken\nexpect: pass\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path)
+	if err == nil || !strings.Contains(err.Error(), "broken.scenario") {
+		t.Fatalf("load error must name the file: %v", err)
+	}
+}
