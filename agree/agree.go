@@ -431,6 +431,11 @@ type Config struct {
 	// Diagram additionally renders a space-time diagram of the execution
 	// (implies Trace).
 	Diagram bool
+	// Telemetry records simulated-time spans and metric timelines for the
+	// run and attaches them to Report.Telemetry. All engines support it; the
+	// recorded content is a pure function of the configuration on
+	// deterministic engines (see VerifyTelemetryDeterminism).
+	Telemetry bool
 }
 
 // Report is the validated outcome of a run.
@@ -470,6 +475,11 @@ type Report struct {
 	// Diagram is the rendered space-time diagram when Config.Diagram was
 	// set.
 	Diagram string
+	// Telemetry holds the run's spans and metric timelines when
+	// Config.Telemetry was set; nil otherwise. It is an in-memory attachment,
+	// deliberately excluded from the report's JSON form — export it
+	// explicitly with ChromeTrace, MetricsJSON or Timeline.
+	Telemetry *Telemetry
 }
 
 // Faults returns the number of crashes that occurred.

@@ -1,8 +1,11 @@
 package agree
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 
 	"repro/internal/check"
 	"repro/internal/core"
@@ -10,6 +13,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/laws"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -93,6 +97,11 @@ type FuzzConfig struct {
 	// out-of-bound latency model skip it: their findings depend on timing
 	// faults the round engines cannot reproduce.
 	CrossCheck bool
+	// Telemetry records a span and metrics recording for a single replay
+	// (FuzzReplayScript), attached to FuzzReplayReport.Telemetry. Campaign
+	// runs (Fuzz) ignore it: thousands of per-seed recordings would be
+	// noise, and the replay path is where a finding gets examined.
+	Telemetry bool
 }
 
 // FuzzFinding is one violating execution of a campaign.
@@ -340,7 +349,14 @@ func Fuzz(cfg FuzzConfig) (*FuzzReport, error) {
 			slot.fatal = err
 			return
 		}
-		slot.out, slot.fatal = fuzz.RunSeed(eng, factory, oracle, cfg.Seed+int64(i), opts)
+		seed := cfg.Seed + int64(i)
+		// Tag the seed's samples so a -cpuprofile of a campaign decomposes by
+		// (engine, seed) in pprof's tags view. Free when no profile is active.
+		pprof.Do(context.Background(),
+			pprof.Labels("engine", string(cfg.Engine), "seed", strconv.FormatInt(seed, 10)),
+			func(context.Context) {
+				slot.out, slot.fatal = fuzz.RunSeed(eng, factory, oracle, seed, opts)
+			})
 		if slot.fatal != nil || slot.out.Err == nil || !cfg.CrossCheck || !cfg.Latency.withinBound() {
 			return
 		}
@@ -412,6 +428,9 @@ type FuzzReplayReport struct {
 	Law string
 	// Transcript is the execution trace when requested.
 	Transcript string
+	// Telemetry is the replay's span and timeline recording when
+	// FuzzConfig.Telemetry was set; nil otherwise.
+	Telemetry *Telemetry
 }
 
 // FuzzReplayScript re-executes one crash script under a campaign
@@ -437,6 +456,10 @@ func FuzzReplayScript(cfg FuzzConfig, script string, withTrace bool) (*FuzzRepla
 	if withTrace {
 		log = trace.New()
 	}
+	var rec *telemetry.Recorder
+	if cfg.Telemetry {
+		rec = telemetry.New()
+	}
 	tgt := withLatency(fuzzFactory(cfg), cfg.Latency)()
 	cache := harness.NewCache()
 	defer cache.Close()
@@ -446,7 +469,7 @@ func FuzzReplayScript(cfg FuzzConfig, script string, withTrace bool) (*FuzzRepla
 	}
 	res, runErr := eng.Run(harness.Job{
 		Model: tgt.Model, Horizon: tgt.Horizon, Procs: tgt.Procs, Adv: s.Adversary(),
-		Trace: log, Latency: tgt.Latency,
+		Trace: log, Latency: tgt.Latency, Telemetry: rec,
 	})
 	if res == nil {
 		return nil, runErr
@@ -488,6 +511,9 @@ func FuzzReplayScript(cfg FuzzConfig, script string, withTrace bool) (*FuzzRepla
 	}
 	if log != nil {
 		rep.Transcript = log.String()
+	}
+	if rec != nil {
+		rep.Telemetry = &Telemetry{rec: rec}
 	}
 	return rep, nil
 }

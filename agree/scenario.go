@@ -1,7 +1,9 @@
 package agree
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/check"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/laws"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // ScenarioSource is one in-memory scenario: the file label used in error
@@ -47,6 +50,11 @@ type ScenarioOptions struct {
 	// hundreds of entries pays for one engine per kind per worker. The
 	// result order is deterministic for every worker count.
 	Workers int
+	// Telemetry records a span and metrics recording for every executed
+	// (scenario, engine) pair, attached to the result (ScenarioResult
+	// .Telemetry method). Each run gets its own recorder, so the option
+	// composes with any worker count.
+	Telemetry bool
 }
 
 // ScenarioResult is the outcome of one scenario on one engine.
@@ -70,7 +78,14 @@ type ScenarioResult struct {
 	// (or failed to execute); the message names the scenario file and the
 	// diverging field.
 	Err error
+	// telemetry is the run's recording when ScenarioOptions.Telemetry was
+	// set; access it via the Telemetry method.
+	telemetry *Telemetry
 }
+
+// Telemetry returns the result's span and timeline recording, or nil when
+// ScenarioOptions.Telemetry was not set (or the run was skipped).
+func (r *ScenarioResult) Telemetry() *Telemetry { return r.telemetry }
 
 // ScenarioReport aggregates a catalog run.
 type ScenarioReport struct {
@@ -86,10 +101,11 @@ type ScenarioReport struct {
 
 // scenarioJob is one (scenario, engine) execution slot.
 type scenarioJob struct {
-	entry scenario.Entry
-	kind  harness.Kind
-	caps  harness.Capabilities
-	skip  string // non-empty: skip with this reason
+	entry     scenario.Entry
+	kind      harness.Kind
+	caps      harness.Capabilities
+	skip      string // non-empty: skip with this reason
+	telemetry bool
 }
 
 // RunScenarios loads a scenario catalog and executes every entry on every
@@ -125,6 +141,7 @@ func RunScenarios(opts ScenarioOptions) (*ScenarioReport, error) {
 			res.Skipped, res.SkipReason = true, job.skip
 			return
 		}
+		job.telemetry = opts.Telemetry
 		runScenarioJob(cache, job, res)
 	})
 
@@ -333,10 +350,28 @@ func runScenarioJob(cache *harness.Cache, job scenarioJob, res *ScenarioResult) 
 		return
 	}
 	script := sc.Script()
-	result, runErr := eng.Run(harness.Job{
-		Model: model, Horizon: horizon, Procs: procs, Adv: script.Adversary(),
-		Latency: scenarioLatencySpec(sc.Latency).model(0),
-	})
+	var rec *telemetry.Recorder
+	if job.telemetry {
+		rec = telemetry.New()
+	}
+	var result *sim.Result
+	var runErr error
+	// The pprof labels tag every sample taken while this scenario executes
+	// with its (engine, scenario) identity, so a -cpuprofile of a catalog run
+	// decomposes by scenario in pprof's tags view. Free when no profile is
+	// active.
+	pprof.Do(context.Background(),
+		pprof.Labels("engine", string(job.kind), "scenario", sc.Name),
+		func(context.Context) {
+			result, runErr = eng.Run(harness.Job{
+				Model: model, Horizon: horizon, Procs: procs, Adv: script.Adversary(),
+				Latency:   scenarioLatencySpec(sc.Latency).model(0),
+				Telemetry: rec,
+			})
+		})
+	if rec != nil {
+		res.telemetry = &Telemetry{rec: rec}
+	}
 	if result == nil {
 		fail(runErr)
 		return

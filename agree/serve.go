@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/smr"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -146,6 +147,10 @@ type ServeConfig struct {
 	CrashAt map[int]float64
 	// Omissions injects omission faults mid-stream; nil injects none.
 	Omissions *ServeOmissions
+	// Telemetry records per-slot spans and series on the service clock plus
+	// the commit-latency histogram; the recording is attached to the report
+	// (ServeReport.Telemetry) and deliberately excluded from its JSON form.
+	Telemetry bool
 }
 
 // LeaderRecovery records one leader crash and the recovery from it.
@@ -200,7 +205,16 @@ type ServeReport struct {
 	// EnginesBuilt and EngineReuses account the service's engine cache.
 	EnginesBuilt int
 	EngineReuses int
+	// telemetry is the run's recording when ServeConfig.Telemetry was set.
+	// It is unexported — and therefore invisible to encoding/json — so the
+	// report's byte-identical serialization law is untouched; access it via
+	// the Telemetry method.
+	telemetry *Telemetry
 }
+
+// Telemetry returns the service run's span and timeline recording, or nil
+// when ServeConfig.Telemetry was not set.
+func (r *ServeReport) Telemetry() *Telemetry { return r.telemetry }
 
 // Serve operates the replicated-log service described by the config until
 // one of its stop conditions and returns the service report. Every slot's
@@ -257,6 +271,11 @@ func Serve(cfg ServeConfig) (*ServeReport, error) {
 		}
 		opts.Omit = &smr.OmitOptions{Procs: procs, SendProb: om.SendProb, RecvProb: om.RecvProb, Seed: om.Seed}
 	}
+	var rec *telemetry.Recorder
+	if cfg.Telemetry {
+		rec = telemetry.New()
+		opts.Telemetry = rec
+	}
 	res, err := smr.Serve(opts)
 	if err != nil {
 		return nil, err
@@ -293,6 +312,9 @@ func Serve(cfg ServeConfig) (*ServeReport, error) {
 		for id, c := range res.Omissive {
 			rep.Omissive[int(id)] = c
 		}
+	}
+	if rec != nil {
+		rep.telemetry = &Telemetry{rec: rec}
 	}
 	return rep, nil
 }
@@ -336,6 +358,16 @@ func VerifyServeDeterminism(cfg ServeConfig) error {
 	if !bytes.Equal(ja, jrt) {
 		return &laws.Violation{Law: laws.LawDeterminism,
 			Detail: fmt.Sprintf("service report changed across a JSON round-trip:\n%s\nvs\n%s", ja, jrt)}
+	}
+	if cfg.Telemetry {
+		if a, b := first.Telemetry().MetricsJSON(), second.Telemetry().MetricsJSON(); !bytes.Equal(a, b) {
+			return &laws.Violation{Law: laws.LawDeterminism,
+				Detail: fmt.Sprintf("two service runs exported different metrics timelines:\n%s\nvs\n%s", a, b)}
+		}
+		if a, b := first.Telemetry().ChromeTrace(), second.Telemetry().ChromeTrace(); !bytes.Equal(a, b) {
+			return &laws.Violation{Law: laws.LawDeterminism,
+				Detail: fmt.Sprintf("two service runs exported different Chrome traces:\n%s\nvs\n%s", a, b)}
+		}
 	}
 	return nil
 }

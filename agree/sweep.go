@@ -2,6 +2,7 @@ package agree
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/diagram"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/laws"
 	"repro/internal/metrics"
 	"repro/internal/simulate"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -25,6 +27,12 @@ type SweepOptions struct {
 	// an order-sensitive fault spec (RandomFaults) are skipped — their
 	// CrossChecked list stays empty.
 	CrossCheck bool
+	// Profile, when non-nil, accumulates wall-clock phase timings over the
+	// whole sweep: queue-wait (worker idle + pool overhead), run (engine
+	// execution), audit (laws + consensus validation + report assembly) and
+	// cross-check. Wall-clock observability only — it never touches the
+	// reports, which stay bit-identical with or without it.
+	Profile *telemetry.Profile
 }
 
 // SweepItem is the outcome of one configuration of a sweep.
@@ -87,14 +95,22 @@ type SweepReport struct {
 // never by panicking or aborting the rest of the batch.
 func Sweep(configs []Config, opts SweepOptions) *SweepReport {
 	sr := &SweepReport{Items: make([]SweepItem, len(configs))}
-	stats := harness.ForEach(len(configs), opts.Workers, func(cache *harness.Cache, i int) {
+	prof := opts.Profile
+	stats := harness.ForEachProf(len(configs), opts.Workers, prof, func(cache *harness.Cache, i int) {
 		item := &sr.Items[i]
 		item.Config = configs[i]
-		item.Report, item.Err = runConfig(configs[i], cache)
+		item.Report, item.Err = runConfigProf(configs[i], cache, prof)
 		if item.Err != nil || !opts.CrossCheck {
 			return
 		}
+		var t0 time.Time
+		if prof.Enabled() {
+			t0 = time.Now()
+		}
 		item.CrossChecked, item.Err = crossCheck(configs[i], item.Report, cache)
+		if prof.Enabled() {
+			prof.Add(telemetry.PhaseCrossCheck, time.Since(t0))
+		}
 	})
 	agg := &sr.Aggregate
 	agg.Configs = len(configs)
@@ -125,6 +141,14 @@ func Sweep(configs []Config, opts SweepOptions) *SweepReport {
 // runConfig executes one configuration on an engine drawn from the worker's
 // cache and assembles the validated report.
 func runConfig(cfg Config, cache *harness.Cache) (*Report, error) {
+	return runConfigProf(cfg, cache, nil)
+}
+
+// runConfigProf is runConfig with an optional wall-clock phase profile: the
+// engine execution is charged to telemetry.PhaseRun, everything after it
+// (law audit, consensus validation, report assembly) to telemetry.PhaseAudit.
+// A nil profile reads no clocks.
+func runConfigProf(cfg Config, cache *harness.Cache, prof *telemetry.Profile) (*Report, error) {
 	cfg, proposals, err := normalize(cfg)
 	if err != nil {
 		return nil, err
@@ -154,18 +178,31 @@ func runConfig(cfg Config, cache *harness.Cache) (*Report, error) {
 	if cfg.Trace {
 		log = trace.New()
 	}
+	var rec *telemetry.Recorder
+	if cfg.Telemetry {
+		rec = telemetry.New()
+	}
 	eng, err := cache.Get(kind)
 	if err != nil {
 		return nil, err
 	}
+	var t0 time.Time
+	if prof.Enabled() {
+		t0 = time.Now()
+	}
 	res, err := eng.Run(harness.Job{
-		Model:   model,
-		Horizon: horizon,
-		Procs:   procs,
-		Adv:     cfg.Faults.build(cfg.N),
-		Trace:   log,
-		Latency: cfg.Latency.model(cfg.Bits),
+		Model:     model,
+		Horizon:   horizon,
+		Procs:     procs,
+		Adv:       cfg.Faults.build(cfg.N),
+		Trace:     log,
+		Latency:   cfg.Latency.model(cfg.Bits),
+		Telemetry: rec,
 	})
+	if prof.Enabled() {
+		prof.Add(telemetry.PhaseRun, time.Since(t0))
+		defer func(t time.Time) { prof.Add(telemetry.PhaseAudit, time.Since(t)) }(time.Now())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +250,9 @@ func runConfig(cfg Config, cache *harness.Cache) (*Report, error) {
 			rep.Diagram = diagram.Render(log, cfg.N)
 		}
 	}
+	if rec != nil {
+		rep.Telemetry = &Telemetry{rec: rec}
+	}
 	return rep, nil
 }
 
@@ -243,7 +283,7 @@ func crossCheck(cfg Config, primary *Report, cache *harness.Cache) ([]EngineKind
 		}
 		ref := cfg
 		ref.Engine = EngineKind(kind)
-		ref.Trace, ref.Diagram = false, false
+		ref.Trace, ref.Diagram, ref.Telemetry = false, false, false
 		if caps, _ := harness.Lookup(kind); !caps.Timed {
 			// A within-bound latency spec is semantically neutral — it only
 			// prices the execution — so the round engines run the same

@@ -1,0 +1,114 @@
+package agree
+
+// telemetry.go is the public face of internal/telemetry: the Telemetry
+// attachment a run carries when Config.Telemetry is set, its export formats
+// (Chrome trace_event JSON for Perfetto, deterministic metrics JSON, a plain
+// text timeline), and the determinism law extended to telemetry — two runs of
+// one configuration on a deterministic engine must export byte-identical
+// artifacts.
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/laws"
+	"repro/internal/telemetry"
+)
+
+// Telemetry is a run's recorded spans and metric timelines over simulated
+// time. It is attached to Report.Telemetry when Config.Telemetry is set and
+// to ServeReport (via its Telemetry method) when ServeConfig.Telemetry is
+// set. All content is simulated-time-only: on a deterministic engine it is a
+// pure function of the configuration, byte-identical across runs, worker
+// counts and machines.
+type Telemetry struct {
+	rec *telemetry.Recorder
+}
+
+// ChromeTrace renders the spans as Chrome trace_event JSON — an array of
+// complete ("ph":"X") events with microsecond timestamps, one track per
+// span source (engine rounds, DES event batches, service slots). The output
+// loads directly in Perfetto (https://ui.perfetto.dev) and chrome://tracing.
+// A nil Telemetry renders the empty array.
+func (t *Telemetry) ChromeTrace() []byte {
+	if t == nil {
+		return []byte("[]")
+	}
+	return t.rec.ChromeTrace()
+}
+
+// MetricsJSON renders the metric timelines (per-round message/delivery/fault
+// series, DES heap and pool series, service slot series) and the commit
+// latency histogram as deterministic JSON: fixed series order, canonical
+// float formatting, no map iteration anywhere.
+func (t *Telemetry) MetricsJSON() []byte {
+	if t == nil {
+		return []byte("{}")
+	}
+	return t.rec.MetricsJSON()
+}
+
+// Timeline renders the spans as a human-readable text timeline, one line per
+// span in deterministic order.
+func (t *Telemetry) Timeline() string {
+	if t == nil {
+		return ""
+	}
+	return t.rec.Timeline()
+}
+
+// SlotTimelineJSON renders the service run's per-slot timeline — launch,
+// commit, latency, batch size, rounds and cumulative throughput per slot —
+// as deterministic JSON. Empty slot list for non-service runs.
+func (t *Telemetry) SlotTimelineJSON() []byte {
+	if t == nil {
+		return []byte(`{"slots":[]}`)
+	}
+	return t.rec.SlotTimelineJSON()
+}
+
+// LatencyTable renders the commit-latency histogram as an aligned text
+// table (power-of-two buckets, counts, cumulative shares); empty when the
+// run observed no latencies.
+func (t *Telemetry) LatencyTable() string {
+	if t == nil {
+		return ""
+	}
+	return t.rec.HistogramTable()
+}
+
+// VerifyTelemetryDeterminism checks the determinism law on the telemetry
+// plane: two independent runs of one configuration must export byte-identical
+// metrics JSON and byte-identical Chrome traces. This extends VerifyDeterminism
+// (which pins the report) to the observability artifacts — a wall-clock reading
+// or an iteration-order dependence anywhere in the telemetry path would break
+// it. Like VerifyDeterminism it requires an engine with the deterministic
+// capability.
+func VerifyTelemetryDeterminism(cfg Config) error {
+	engine := cfg.Engine
+	if engine == "" {
+		engine = EngineDeterministic
+	}
+	if caps, ok := harness.Lookup(harness.Kind(engine)); ok && !caps.Deterministic {
+		return fmt.Errorf("agree: engine %q makes no determinism promise; VerifyTelemetryDeterminism requires a deterministic engine", engine)
+	}
+	cfg.Telemetry = true
+	first, err := Run(cfg)
+	if err != nil {
+		return err
+	}
+	second, err := Run(cfg)
+	if err != nil {
+		return fmt.Errorf("agree: re-run failed: %w", err)
+	}
+	if a, b := first.Telemetry.MetricsJSON(), second.Telemetry.MetricsJSON(); !bytes.Equal(a, b) {
+		return &laws.Violation{Law: laws.LawDeterminism,
+			Detail: fmt.Sprintf("two runs of one configuration exported different metrics timelines:\n%s\nvs\n%s", a, b)}
+	}
+	if a, b := first.Telemetry.ChromeTrace(), second.Telemetry.ChromeTrace(); !bytes.Equal(a, b) {
+		return &laws.Violation{Law: laws.LawDeterminism,
+			Detail: fmt.Sprintf("two runs of one configuration exported different Chrome traces:\n%s\nvs\n%s", a, b)}
+	}
+	return nil
+}

@@ -537,6 +537,41 @@ func BenchmarkTimedEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOverhead prices the telemetry recorder on the two
+// workloads it instruments most densely: the E1 failure-free happy path
+// (per-round series on the deterministic engine) and the timed workload
+// (round series plus DES batch spans and heap/pool samples). The /off
+// variants run the default nil-recorder path — their ns/op and allocs/op
+// must match the uninstrumented engine benchmarks — and the /on variants
+// record and retain everything; the ratio between the two is the headline
+// overhead number in docs/benchmarks.md.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	shapes := []struct {
+		name string
+		cfg  agree.Config
+	}{
+		{"e1", agree.Config{N: 64}},
+		{"timed", agree.Config{N: 32, Engine: agree.EngineTimed,
+			Latency: agree.JitterLatency(7, 1, 0.1, 0.1, 0.85),
+			Faults:  agree.CoordinatorCrashes(4)}},
+	}
+	for _, s := range shapes {
+		for _, enabled := range []bool{false, true} {
+			cfg := s.cfg
+			cfg.Telemetry = enabled
+			mode := "off"
+			if enabled {
+				mode = "on"
+			}
+			b.Run(s.name+"/"+mode, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					run(b, cfg)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTimedEngineN scales the timed workload across system sizes at
 // f = n/8 (the headline BenchmarkTimedEngine ratio): event-count growth is
 // quadratic in n, so this series shows how far the pooled scheduler keeps

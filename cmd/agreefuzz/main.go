@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"repro/agree"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -66,6 +67,11 @@ func run() int {
 		latFloor   = flag.Float64("lat-floor", 0, "timed engine: jitter latency floor")
 		latSpread  = flag.Float64("lat-spread", 0, "timed engine: jitter width; floor+spread > D makes timing faults part of every walk")
 		latSeed    = flag.Int64("lat-seed", 1, "timed engine: jitter seed (pure per-message hash)")
+
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file (campaign samples are labeled per (engine, seed) for pprof's tags view)")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		telemetryOut = flag.String("telemetry-out", "", `-replay only: write the replay's metrics timeline JSON to this file ("-" = stdout)`)
+		chromeTrace  = flag.String("chrome-trace", "", "-replay only: write the replay's Chrome trace_event JSON to this file")
 	)
 	flag.Parse()
 
@@ -92,8 +98,25 @@ func run() int {
 		return 1
 	}
 
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agreefuzz:", err)
+		return 1
+	}
+	defer stopCPU()
+	defer func() {
+		if err := prof.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "agreefuzz:", err)
+		}
+	}()
+
 	if *replay != "" {
-		return replayScript(cfg, *replay)
+		cfg.Telemetry = *telemetryOut != "" || *chromeTrace != ""
+		return replayScript(cfg, *replay, *telemetryOut, *chromeTrace)
+	}
+	if *telemetryOut != "" || *chromeTrace != "" {
+		fmt.Fprintln(os.Stderr, "agreefuzz: -telemetry-out/-chrome-trace export one replay's timeline; combine them with -replay")
+		return 1
 	}
 
 	rep, err := agree.Fuzz(cfg)
@@ -245,9 +268,17 @@ func histogram(h map[int]int) string {
 // campaign used (agree.FuzzReplayScript) — including the script-vs-n
 // validation, so an out-of-range script is an error, not a silently
 // failure-free passing run.
-func replayScript(cfg agree.FuzzConfig, text string) int {
+func replayScript(cfg agree.FuzzConfig, text, telemetryOut, chromeTrace string) int {
 	rep, err := agree.FuzzReplayScript(cfg, text, true)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "agreefuzz:", err)
+		return 1
+	}
+	if err := prof.WriteFile(telemetryOut, rep.Telemetry.MetricsJSON()); err != nil {
+		fmt.Fprintln(os.Stderr, "agreefuzz:", err)
+		return 1
+	}
+	if err := prof.WriteFile(chromeTrace, rep.Telemetry.ChromeTrace()); err != nil {
 		fmt.Fprintln(os.Stderr, "agreefuzz:", err)
 		return 1
 	}

@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"repro/agree"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -53,6 +54,11 @@ func main() {
 		latFloor   = flag.Float64("lat-floor", 0, "timed engine: jitter latency floor")
 		latSpread  = flag.Float64("lat-spread", 0, "timed engine: jitter width (latency = floor + U[0, spread)); floor+spread > D injects timing faults")
 		latSeed    = flag.Int64("lat-seed", 1, "timed engine: jitter seed (pure per-message hash)")
+
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		telemetryOut = flag.String("telemetry-out", "", `write the run's metrics timeline JSON to this file ("-" = stdout)`)
+		chromeTrace  = flag.String("chrome-trace", "", "write the run's Chrome trace_event JSON to this file (loads in Perfetto / chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -70,13 +76,37 @@ func main() {
 		os.Exit(1)
 	}
 
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agreerun:", err)
+		os.Exit(1)
+	}
+	// finish flushes the profiles and exits; every post-flag-parse exit goes
+	// through it so -cpuprofile/-memprofile files are complete even on error.
+	finish := func(code int) {
+		stopCPU()
+		if err := prof.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "agreerun:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
+
 	if *fsweep >= 0 {
 		if *random || *f > 0 || *deliver || *diag {
 			fmt.Fprintln(os.Stderr, "agreerun: -fsweep always sweeps silent coordinator crashes; it cannot be combined with -random/-f/-deliver/-diagram")
-			os.Exit(1)
+			finish(1)
 		}
-		runSweep(*n, *tt, *protocol, *engine, *bits, *fsweep, *workers, *crosschk, *simulate, latency)
-		return
+		if *telemetryOut != "" || *chromeTrace != "" {
+			fmt.Fprintln(os.Stderr, "agreerun: -telemetry-out/-chrome-trace export one run's timeline; they cannot be combined with -fsweep")
+			finish(1)
+		}
+		if runSweep(*n, *tt, *protocol, *engine, *bits, *fsweep, *workers, *crosschk, *simulate, latency) {
+			finish(2)
+		}
+		finish(0)
 	}
 
 	faults := agree.NoFaults()
@@ -101,13 +131,22 @@ func main() {
 		SimulateOnClassic: *simulate,
 		Trace:             !*quiet && canTrace,
 		Diagram:           *diag && canTrace,
+		Telemetry:         *telemetryOut != "" || *chromeTrace != "",
 	}
 	item := agree.Sweep([]agree.Config{cfg}, agree.SweepOptions{Workers: 1, CrossCheck: *crosschk}).Items[0]
 	if item.Err != nil {
 		fmt.Fprintln(os.Stderr, "agreerun:", item.Err)
-		os.Exit(1)
+		finish(1)
 	}
 	rep := item.Report
+	if err := prof.WriteFile(*telemetryOut, rep.Telemetry.MetricsJSON()); err != nil {
+		fmt.Fprintln(os.Stderr, "agreerun:", err)
+		finish(1)
+	}
+	if err := prof.WriteFile(*chromeTrace, rep.Telemetry.ChromeTrace()); err != nil {
+		fmt.Fprintln(os.Stderr, "agreerun:", err)
+		finish(1)
+	}
 	switch {
 	case rep.Diagram != "":
 		fmt.Print(rep.Diagram)
@@ -133,9 +172,10 @@ func main() {
 	}
 	if rep.ConsensusErr != nil {
 		fmt.Printf("VERDICT     VIOLATION: %v\n", rep.ConsensusErr)
-		os.Exit(2)
+		finish(2)
 	}
 	fmt.Println("VERDICT     uniform consensus holds")
+	finish(0)
 }
 
 // engineHasTrace consults the live registry (the same source -list-engines
@@ -153,8 +193,9 @@ func engineHasTrace(kind agree.EngineKind) bool {
 }
 
 // runSweep executes the -fsweep mode: coordinator-killer scenarios f=0..max
-// as one parallel sweep, one table row per fault count.
-func runSweep(n, tt int, protocol, engine string, bits, max, workers int, crosscheck, simulate bool, latency agree.LatencySpec) {
+// as one parallel sweep, one table row per fault count. It reports whether
+// any row errored or violated consensus.
+func runSweep(n, tt int, protocol, engine string, bits, max, workers int, crosscheck, simulate bool, latency agree.LatencySpec) bool {
 	configs := make([]agree.Config, 0, max+1)
 	for f := 0; f <= max; f++ {
 		configs = append(configs, agree.Config{
@@ -195,9 +236,7 @@ func runSweep(n, tt int, protocol, engine string, bits, max, workers int, crossc
 		agg.Configs, agg.Errored, agg.Violations, agg.RoundHistogram, agg.Counters.String())
 	fmt.Printf("engine pool: %d built, %d reuse hits (reusable engines rewind between jobs)\n",
 		agg.EnginesBuilt, agg.EngineReuses)
-	if failed {
-		os.Exit(2)
-	}
+	return failed
 }
 
 // keys returns the sorted crash set for display.

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/agree"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -68,6 +69,12 @@ func main() {
 
 		asJSON = flag.Bool("json", false, "print the report as canonical JSON")
 		verify = flag.Bool("verify", false, "check the determinism law (two byte-identical runs) before reporting")
+
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		telemetryOut = flag.String("telemetry-out", "", `write the run's metrics timeline JSON to this file ("-" = stdout)`)
+		chromeTrace  = flag.String("chrome-trace", "", "write the run's Chrome trace_event JSON to this file (one slot span per commit; loads in Perfetto / chrome://tracing)")
+		metricsOut   = flag.String("metrics-out", "", `write the per-slot latency/throughput timeline JSON to this file ("-" = stdout) and print the latency summary table`)
 	)
 	flag.Parse()
 
@@ -117,24 +124,57 @@ func main() {
 		}
 		cfg.Omissions = &agree.ServeOmissions{Procs: procs, SendProb: *omitSend, RecvProb: *omitRecv, Seed: *omitSeed}
 	}
+	cfg.Telemetry = *telemetryOut != "" || *chromeTrace != "" || *metricsOut != ""
+
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		fail(err)
+	}
+	// finish flushes the profiles and exits, so the -cpuprofile/-memprofile
+	// files are complete on every post-start exit path.
+	finish := func(code int) {
+		stopCPU()
+		if err := prof.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, "agreeserve:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
+	failf := func(err error) {
+		fmt.Fprintln(os.Stderr, "agreeserve:", err)
+		finish(1)
+	}
 
 	if *verify {
 		if err := agree.VerifyServeDeterminism(cfg); err != nil {
-			fail(err)
+			failf(err)
 		}
 	}
 	rep, err := agree.Serve(cfg)
 	if err != nil {
-		fail(err)
+		failf(err)
+	}
+
+	tel := rep.Telemetry()
+	if err := prof.WriteFile(*telemetryOut, tel.MetricsJSON()); err != nil {
+		failf(err)
+	}
+	if err := prof.WriteFile(*chromeTrace, tel.ChromeTrace()); err != nil {
+		failf(err)
+	}
+	if err := prof.WriteFile(*metricsOut, tel.SlotTimelineJSON()); err != nil {
+		failf(err)
 	}
 
 	if *asJSON {
 		out, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
-			fail(err)
+			failf(err)
 		}
 		fmt.Println(string(out))
-		return
+		finish(0)
 	}
 
 	fmt.Printf("service     %s on %s engine, n=%d, rotate=%v\n", cfg.Protocol, orDefault(*engine, "timed"), *n, cfg.RotateLeader)
@@ -167,6 +207,11 @@ func main() {
 	if *verify {
 		fmt.Println("determinism byte-identical across two runs (law verified)")
 	}
+	if *metricsOut != "" && *metricsOut != "-" {
+		fmt.Println("\ncommit-latency distribution")
+		fmt.Print(tel.LatencyTable())
+	}
+	finish(0)
 }
 
 // parseCrashSchedule parses "1@5.5,3@20" into a crash map.

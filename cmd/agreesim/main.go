@@ -29,6 +29,7 @@ import (
 
 	"repro/agree"
 	"repro/internal/fuzz"
+	"repro/internal/prof"
 	"repro/internal/scenario"
 )
 
@@ -60,6 +61,11 @@ func run() int {
 		latFloor   = flag.Float64("lat-floor", 0, "converter: jitter latency floor")
 		latSpread  = flag.Float64("lat-spread", 0, "converter: jitter width")
 		latSeed    = flag.Int64("lat-seed", 1, "converter: jitter seed")
+
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		telemetryOut = flag.String("telemetry-out", "", `write the run's metrics timeline JSON to this file ("-" = stdout); requires -run to select exactly one executed (scenario, engine) pair`)
+		chromeTrace  = flag.String("chrome-trace", "", "write the run's Chrome trace_event JSON to this file (loads in Perfetto / chrome://tracing); same exactly-one-run rule as -telemetry-out")
 	)
 	flag.Parse()
 
@@ -109,7 +115,13 @@ func run() int {
 		flag.Usage()
 		return 1
 	}
-	opts := agree.ScenarioOptions{Dir: *dir, Workers: *workers}
+	stopCPU, err := prof.StartCPU(*cpuprofile)
+	if err != nil {
+		return fail(err)
+	}
+	defer stopCPU()
+	wantTelemetry := *telemetryOut != "" || *chromeTrace != ""
+	opts := agree.ScenarioOptions{Dir: *dir, Workers: *workers, Telemetry: wantTelemetry}
 	if *runNames != "all" {
 		opts.Names = strings.Split(*runNames, ",")
 		for i := range opts.Names {
@@ -131,6 +143,11 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
+	if wantTelemetry {
+		if err := exportTelemetry(rep, *telemetryOut, *chromeTrace); err != nil {
+			return fail(err)
+		}
+	}
 	if *jsonOut {
 		if err := printJSON(rep); err != nil {
 			return fail(err)
@@ -138,10 +155,35 @@ func run() int {
 	} else {
 		printText(rep)
 	}
+	if err := prof.WriteHeap(*memprofile); err != nil {
+		return fail(err)
+	}
 	if rep.Failed > 0 {
 		return 2
 	}
 	return 0
+}
+
+// exportTelemetry writes the telemetry artifacts of a catalog run. The flags
+// export one run's timeline, so the selection must resolve to exactly one
+// executed (scenario, engine) pair — narrow with -run and -engines otherwise.
+func exportTelemetry(rep *agree.ScenarioReport, telemetryOut, chromeTrace string) error {
+	var hit *agree.ScenarioResult
+	executed := 0
+	for i := range rep.Results {
+		if rep.Results[i].Skipped {
+			continue
+		}
+		executed++
+		hit = &rep.Results[i]
+	}
+	if executed != 1 {
+		return fmt.Errorf("-telemetry-out/-chrome-trace export one run's timeline but the selection executed %d (scenario, engine) pairs; narrow it with -run and -engines", executed)
+	}
+	if err := prof.WriteFile(telemetryOut, hit.Telemetry().MetricsJSON()); err != nil {
+		return err
+	}
+	return prof.WriteFile(chromeTrace, hit.Telemetry().ChromeTrace())
 }
 
 // printText renders the results one line per (scenario, engine) run, with

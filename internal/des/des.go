@@ -21,6 +21,8 @@ package des
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/telemetry"
 )
 
 // Time is simulated time. Units are whatever the caller chooses (the FFD
@@ -91,6 +93,25 @@ type Sim struct {
 	// run with simultaneous events then violates the FIFO tie contract, which
 	// Audit must detect. Never set outside tests.
 	LIFOTies bool
+
+	// Telemetry, when non-nil, receives one event-batch span per maximal run
+	// of same-time events (spanning from the batch's timestamp to the next
+	// clock advance) plus heap-depth and pool-hit-rate samples at each
+	// advance, on the DES track. The owner of the Sim sets it before Run; a
+	// nil recorder costs nothing on the hot path.
+	Telemetry *telemetry.Recorder
+
+	// Event-pool accounting: allocs counts every event-slot request, poolHits
+	// the requests served without growing the free list. Plain increments —
+	// they ride the zero-alloc hot path unconditionally.
+	allocs   int
+	poolHits int
+
+	// Open event-batch state for Telemetry (meaningful only when recording).
+	batchOpen  bool
+	batchStart Time
+	batchCount int32
+	batchOrd   int32
 }
 
 // Handle refers to a scheduled event and can cancel it before it fires. The
@@ -129,6 +150,10 @@ func (s *Sim) Steps() int { return s.steps }
 // alloc takes an event slot from the free list, growing it by one slab when
 // empty.
 func (s *Sim) alloc() *event {
+	s.allocs++
+	if len(s.free) > 0 {
+		s.poolHits++
+	}
 	if len(s.free) == 0 {
 		blk := make([]event, blockSize)
 		for i := range blk {
@@ -188,6 +213,7 @@ func (s *Sim) Stop() { s.stopped = true }
 // simulated time.
 func (s *Sim) Run(until Time) Time {
 	s.stopped = false
+	recording := s.Telemetry.Enabled()
 	for len(s.heap) > 0 && !s.stopped {
 		next := s.heap[0]
 		if !next.live() {
@@ -202,6 +228,17 @@ func (s *Sim) Run(until Time) Time {
 			break
 		}
 		s.pop()
+		if recording {
+			// A batch is a maximal run of same-time events; its span closes —
+			// and the heap/pool gauges are sampled — when the clock advances.
+			if s.batchOpen && next.at != s.batchStart {
+				s.closeBatch(next.at)
+			}
+			if !s.batchOpen {
+				s.batchOpen, s.batchStart, s.batchCount = true, next.at, 0
+			}
+			s.batchCount++
+		}
 		// Execution-order contract, checked against the ground-truth
 		// scheduling order rather than the heap's own tie-break key: time
 		// never rewinds, and same-time events run in scheduling (FIFO) order.
@@ -233,7 +270,27 @@ func (s *Sim) Run(until Time) Time {
 			fn()
 		}
 	}
+	if s.batchOpen {
+		// Trailing batch: the clock never advanced past it, so the span is
+		// instantaneous at the final time.
+		s.closeBatch(s.now)
+	}
 	return s.now
+}
+
+// closeBatch emits the open event-batch span ending at the given clock
+// advance, plus the heap-depth and pool-hit-rate samples at that boundary.
+func (s *Sim) closeBatch(end Time) {
+	s.Telemetry.Span(telemetry.SpanBatch, telemetry.TrackDES, s.batchOrd, s.batchCount,
+		float64(s.batchStart), float64(end))
+	s.Telemetry.Sample(telemetry.SeriesHeapSize, float64(end), float64(s.Pending()))
+	if s.allocs > 0 {
+		s.Telemetry.Sample(telemetry.SeriesPoolHitRate, float64(end),
+			float64(s.poolHits)/float64(s.allocs))
+	}
+	s.batchOrd++
+	s.batchOpen = false
+	s.batchCount = 0
 }
 
 // Pending returns the number of events still scheduled to run (cancelled
@@ -260,6 +317,12 @@ func (s *Sim) Reset() {
 	s.lastAt = 0
 	s.lastOrd = 0
 	s.orderViolation = ""
+	s.allocs = 0
+	s.poolHits = 0
+	s.batchOpen = false
+	s.batchStart = 0
+	s.batchCount = 0
+	s.batchOrd = 0
 }
 
 // Audit checks the simulation's execution-order contract and event

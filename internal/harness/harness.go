@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/laws"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/timed"
 	"repro/internal/trace"
 )
@@ -71,6 +72,10 @@ type Job struct {
 	Adv     sim.Adversary
 	Trace   *trace.Log
 	Latency timed.LatencyModel
+	// Telemetry, when non-nil, receives spans and metric samples over
+	// simulated time for this run (internal/telemetry). All three engines
+	// honor it; a nil recorder costs nothing on any hot path.
+	Telemetry *telemetry.Recorder
 }
 
 // Engine executes jobs. Implementations must support any number of

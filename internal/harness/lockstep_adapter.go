@@ -36,7 +36,7 @@ func (e *lockstepEngine) Run(job Job) (*sim.Result, error) {
 	if job.Latency != nil {
 		return nil, fmt.Errorf("harness: engine %q has no timed capability", KindLockstep)
 	}
-	cfg := lockstep.Config{Model: job.Model, Horizon: job.Horizon}
+	cfg := lockstep.Config{Model: job.Model, Horizon: job.Horizon, Telemetry: job.Telemetry}
 	if e.rt == nil {
 		rt, err := lockstep.New(cfg, job.Procs, job.Adv)
 		if err != nil {

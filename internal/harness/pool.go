@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // PoolStats accounts for engine construction and reuse across a Cache or a
@@ -78,6 +81,17 @@ func (c *Cache) Close() {
 // workers. They are the only worker-count-dependent output: a pool of w
 // workers builds up to w engines per kind touched.
 func ForEach(n, workers int, fn func(c *Cache, i int)) PoolStats {
+	return ForEachProf(n, workers, nil, fn)
+}
+
+// ForEachProf is ForEach with an optional wall-clock profile: when prof is
+// non-nil, every worker charges the time it spends between jobs — waiting on
+// the atomic cursor plus pool setup/teardown, i.e. its wall time minus the
+// time inside fn — to telemetry.PhaseQueueWait. The phases inside a job
+// (run, audit, cross-check) are charged by the callback itself; see
+// agree.SweepOptions.Profile. A nil prof takes the exact ForEach path with no
+// clock reads.
+func ForEachProf(n, workers int, prof *telemetry.Profile, fn func(c *Cache, i int)) PoolStats {
 	if n <= 0 {
 		return PoolStats{}
 	}
@@ -87,11 +101,25 @@ func ForEach(n, workers int, fn func(c *Cache, i int)) PoolStats {
 	if workers > n {
 		workers = n
 	}
+	body := fn
+	if prof.Enabled() {
+		body = func(c *Cache, i int) {
+			t0 := time.Now()
+			fn(c, i)
+			// Negative queue-wait is impossible: fn time is subtracted from
+			// the worker's wall time measured around the whole drain loop.
+			prof.Add(telemetry.PhaseQueueWait, -time.Since(t0))
+		}
+	}
 	if workers == 1 {
+		start := time.Now()
 		c := NewCache()
 		defer c.Close()
 		for i := 0; i < n; i++ {
-			fn(c, i)
+			body(c, i)
+		}
+		if prof.Enabled() {
+			prof.Add(telemetry.PhaseQueueWait, time.Since(start))
 		}
 		return c.Stats()
 	}
@@ -105,8 +133,12 @@ func ForEach(n, workers int, fn func(c *Cache, i int)) PoolStats {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			start := time.Now()
 			c := NewCache()
 			defer func() {
+				if prof.Enabled() {
+					prof.Add(telemetry.PhaseQueueWait, time.Since(start))
+				}
 				mu.Lock()
 				total.add(c.Stats())
 				mu.Unlock()
@@ -117,7 +149,7 @@ func ForEach(n, workers int, fn func(c *Cache, i int)) PoolStats {
 				if i >= n {
 					return
 				}
-				fn(c, i)
+				body(c, i)
 			}
 		}()
 	}

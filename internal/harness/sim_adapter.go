@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -17,6 +18,7 @@ type simEngine struct {
 	model   sim.Model
 	horizon sim.Round
 	tr      *trace.Log
+	tel     *telemetry.Recorder
 }
 
 func init() {
@@ -41,17 +43,19 @@ func (e *simEngine) Run(job Job) (*sim.Result, error) {
 	if job.Latency != nil {
 		return nil, fmt.Errorf("harness: engine %q has no timed capability", KindDeterministic)
 	}
-	if e.eng != nil && job.Model == e.model && job.Horizon == e.horizon && job.Trace == e.tr {
+	if e.eng != nil && job.Model == e.model && job.Horizon == e.horizon &&
+		job.Trace == e.tr && job.Telemetry == e.tel {
 		if err := e.eng.Reset(job.Procs, job.Adv); err != nil {
 			return nil, err
 		}
 	} else {
-		eng, err := sim.NewEngine(sim.Config{Model: job.Model, Horizon: job.Horizon, Trace: job.Trace},
+		eng, err := sim.NewEngine(
+			sim.Config{Model: job.Model, Horizon: job.Horizon, Trace: job.Trace, Telemetry: job.Telemetry},
 			job.Procs, job.Adv)
 		if err != nil {
 			return nil, err
 		}
-		e.eng, e.model, e.horizon, e.tr = eng, job.Model, job.Horizon, job.Trace
+		e.eng, e.model, e.horizon, e.tr, e.tel = eng, job.Model, job.Horizon, job.Trace, job.Telemetry
 	}
 	return audited(e.eng.Run())
 }

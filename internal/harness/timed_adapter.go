@@ -34,10 +34,11 @@ func (e *timedEngine) Capabilities() Capabilities {
 // Run implements Engine.
 func (e *timedEngine) Run(job Job) (*sim.Result, error) {
 	cfg := timed.Config{
-		Model:   job.Model,
-		Horizon: job.Horizon,
-		Trace:   job.Trace,
-		Latency: job.Latency,
+		Model:     job.Model,
+		Horizon:   job.Horizon,
+		Trace:     job.Trace,
+		Latency:   job.Latency,
+		Telemetry: job.Telemetry,
 	}
 	if e.eng == nil {
 		eng, err := timed.New(cfg, job.Procs, job.Adv)

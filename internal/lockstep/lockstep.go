@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config configures a lockstep run.
@@ -50,6 +51,11 @@ type Config struct {
 	Model sim.Model
 	// Horizon bounds the number of rounds (default n+2).
 	Horizon sim.Round
+	// Telemetry, if non-nil, receives run/round spans and per-round traffic
+	// series. Recording happens entirely in the single-threaded driver loop
+	// (between the phase barriers), so the recorder needs no locking even
+	// though the workers run concurrently. The nil path costs nothing.
+	Telemetry *telemetry.Recorder
 }
 
 // Runtime executes processes concurrently in lockstep rounds. A Runtime runs
@@ -471,8 +477,14 @@ func (rt *Runtime) Run() (*sim.Result, error) {
 		return c
 	}
 
+	recording := rt.cfg.Telemetry.Enabled()
+	var prevCtr metrics.Counters
+	var prevLed metrics.Ledger
 	var r sim.Round
 	for r = 1; r <= rt.cfg.Horizon; r++ {
+		if recording {
+			prevCtr, prevLed = res.Counters, res.Ledger
+		}
 		ws := rt.started[:0]
 		for i, w := range rt.workers {
 			if rt.alive[i] && !rt.halted[i] {
@@ -554,6 +566,9 @@ func (rt *Runtime) Run() (*sim.Result, error) {
 				}
 			}
 		}
+		if recording {
+			rt.recordRound(res, r, prevCtr, prevLed)
+		}
 		if activeCount() == 0 {
 			break
 		}
@@ -570,7 +585,31 @@ func (rt *Runtime) Run() (*sim.Result, error) {
 	res.Rounds = r
 	res.Counters.Rounds = int(r)
 	setOmissive(res, rt.omissive)
+	if recording {
+		rt.cfg.Telemetry.Span(telemetry.SpanRun, telemetry.TrackEngine, 0, int32(r), 0, float64(r))
+		if r > 0 {
+			rt.cfg.Telemetry.Sample(telemetry.SeriesRoundsPerSec, float64(r), 1)
+		}
+	}
 	return res, nil
+}
+
+// recordRound emits one round's telemetry from the driver loop: the round
+// span over its unit time interval and the traffic deltas of the round,
+// computed against the result snapshots taken before the send phase. The
+// driver owns the result between barriers, so no synchronization is needed.
+func (rt *Runtime) recordRound(res *sim.Result, r sim.Round, prevCtr metrics.Counters, prevLed metrics.Ledger) {
+	rec := rt.cfg.Telemetry
+	t := float64(r)
+	rec.Span(telemetry.SpanRound, telemetry.TrackEngine, int32(r), 0, t-1, t)
+	dc := res.Counters.Minus(prevCtr)
+	dl := res.Ledger.Minus(prevLed)
+	rec.Sample(telemetry.SeriesDataMsgs, t, float64(dc.DataMsgs))
+	rec.Sample(telemetry.SeriesCtrlMsgs, t, float64(dc.CtrlMsgs))
+	rec.Sample(telemetry.SeriesDelivered, t, float64(dl.DeliveredData+dl.DeliveredCtrl))
+	rec.Sample(telemetry.SeriesDropped, t, float64(dc.DroppedData+dc.DroppedCtrl))
+	rec.Sample(telemetry.SeriesOmitted, t, float64(dc.OmittedData+dc.OmittedCtrl+dc.OmittedRecv))
+	rec.Sample(telemetry.SeriesLate, t, float64(dc.Late))
 }
 
 // setOmissive attaches the per-process omission counts to a result, leaving

@@ -87,6 +87,25 @@ func (c *Counters) Merge(other Counters) {
 	c.Rounds += other.Rounds
 }
 
+// Minus returns the per-field difference c - prev: the traffic of the
+// interval between two snapshots. The telemetry layer uses it to turn the
+// engines' cumulative counters into per-round series samples.
+func (c Counters) Minus(prev Counters) Counters {
+	return Counters{
+		DataMsgs:    c.DataMsgs - prev.DataMsgs,
+		CtrlMsgs:    c.CtrlMsgs - prev.CtrlMsgs,
+		DataBits:    c.DataBits - prev.DataBits,
+		CtrlBits:    c.CtrlBits - prev.CtrlBits,
+		DroppedData: c.DroppedData - prev.DroppedData,
+		DroppedCtrl: c.DroppedCtrl - prev.DroppedCtrl,
+		OmittedData: c.OmittedData - prev.OmittedData,
+		OmittedCtrl: c.OmittedCtrl - prev.OmittedCtrl,
+		OmittedRecv: c.OmittedRecv - prev.OmittedRecv,
+		Late:        c.Late - prev.Late,
+		Rounds:      c.Rounds - prev.Rounds,
+	}
+}
+
 // Ledger is the per-kind delivery ledger backing the message-conservation
 // law (internal/laws): every transmitted message — already counted in
 // Counters.DataMsgs/CtrlMsgs — must end up in exactly one of the sinks below,
@@ -184,6 +203,23 @@ func (l *Ledger) Merge(other Ledger) {
 	l.DeadDestCtrl += other.DeadDestCtrl
 	l.HaltedDestData += other.HaltedDestData
 	l.HaltedDestCtrl += other.HaltedDestCtrl
+}
+
+// Minus returns the per-field difference l - prev, mirroring Counters.Minus
+// for per-round delivery deltas.
+func (l Ledger) Minus(prev Ledger) Ledger {
+	return Ledger{
+		DeliveredData:  l.DeliveredData - prev.DeliveredData,
+		DeliveredCtrl:  l.DeliveredCtrl - prev.DeliveredCtrl,
+		RecvOmitData:   l.RecvOmitData - prev.RecvOmitData,
+		RecvOmitCtrl:   l.RecvOmitCtrl - prev.RecvOmitCtrl,
+		LateData:       l.LateData - prev.LateData,
+		LateCtrl:       l.LateCtrl - prev.LateCtrl,
+		DeadDestData:   l.DeadDestData - prev.DeadDestData,
+		DeadDestCtrl:   l.DeadDestCtrl - prev.DeadDestCtrl,
+		HaltedDestData: l.HaltedDestData - prev.HaltedDestData,
+		HaltedDestCtrl: l.HaltedDestCtrl - prev.HaltedDestCtrl,
+	}
 }
 
 // SinkData returns the total data-message sink count — the right-hand side of

@@ -1,0 +1,72 @@
+// Package prof holds the wall-clock profiling plumbing shared by the four
+// CLIs (agreerun, agreesim, agreefuzz, agreeserve): starting and stopping a
+// CPU profile, snapshotting a heap profile, and writing telemetry artifacts
+// (Chrome trace and metrics timeline JSON) to files. It exists so every
+// binary exposes the same -cpuprofile/-memprofile/-telemetry-out/-chrome-trace
+// flags with the same semantics, instead of four slightly different copies.
+//
+// Everything here is wall-clock-side observability; the deterministic
+// simulated-time telemetry itself lives in internal/telemetry.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns a stop function.
+// An empty path is a no-op returning a nil-safe stop. The caller must invoke
+// stop before reading the file (typically via defer in main).
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap snapshots the heap profile to path after a GC, so the profile
+// reflects live objects rather than garbage. An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: create mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("prof: write mem profile: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes a telemetry artifact (already-rendered bytes) to path.
+// An empty path is a no-op; "-" writes to stdout.
+func WriteFile(path string, data []byte) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("prof: write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartCPUEmptyPathNoop(t *testing.T) {
+	stop, err := StartCPU("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must be callable, not nil
+}
+
+func TestStartCPUWritesProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pb.gz")
+	stop, err := StartCPU(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to hold.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("CPU profile file is empty after stop")
+	}
+	// A second stop from a fresh start must not collide with the first.
+	stop2, err := StartCPU(filepath.Join(t.TempDir(), "cpu2.pb.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop2()
+}
+
+func TestWriteHeap(t *testing.T) {
+	if err := WriteHeap(""); err != nil {
+		t.Errorf("empty path: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "mem.pb.gz")
+	if err := WriteHeap(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("heap profile file is empty")
+	}
+	if err := WriteHeap(filepath.Join(t.TempDir(), "no", "such", "dir", "m")); err == nil {
+		t.Error("unwritable path: want error, got nil")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	if err := WriteFile("", []byte("dropped")); err != nil {
+		t.Errorf("empty path: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "artifact.json")
+	if err := WriteFile(path, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"ok":true}` {
+		t.Errorf("wrote %q", got)
+	}
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "a"), nil); err == nil {
+		t.Error("unwritable path: want error, got nil")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,10 @@ type Config struct {
 	// is the engine's hot path: with Trace nil, rounds execute without any
 	// event or detail-string construction.
 	Trace *trace.Log
+	// Telemetry, if non-nil, receives run/round spans (one simulated time
+	// unit per round) and per-round traffic series sampled from the engine's
+	// counters. The nil path costs nothing.
+	Telemetry *telemetry.Recorder
 }
 
 // Result summarizes a finished execution.
@@ -151,6 +156,10 @@ type Engine struct {
 	nCrashed      int
 	ctr           metrics.Counters
 	led           metrics.Ledger
+
+	// Telemetry snapshots for per-round deltas; touched only when recording.
+	telCtr metrics.Counters
+	telLed metrics.Ledger
 }
 
 // inboxSeedCap is the per-process inbox capacity carved out of the flat
@@ -251,6 +260,8 @@ func (e *Engine) Reset(procs []Process, adv Adversary) error {
 	e.nCrashed = 0
 	e.ctr = metrics.Counters{}
 	e.led = metrics.Ledger{}
+	e.telCtr = metrics.Counters{}
+	e.telLed = metrics.Ledger{}
 	return nil
 }
 
@@ -263,6 +274,7 @@ func (e *Engine) N() int { return len(e.procs) }
 func (e *Engine) Run() (*Result, error) {
 	var r Round
 	var runErr error
+	recording := e.cfg.Telemetry.Enabled()
 	for r = 1; r <= e.cfg.Horizon; r++ {
 		if e.allQuiet() {
 			r--
@@ -271,6 +283,9 @@ func (e *Engine) Run() (*Result, error) {
 		if err := e.round(r); err != nil {
 			runErr = err
 			break
+		}
+		if recording {
+			e.recordRound(r)
 		}
 		if e.allQuiet() {
 			break
@@ -307,7 +322,35 @@ func (e *Engine) Run() (*Result, error) {
 		}
 	}
 	res.Counters.Rounds = int(r)
+	if recording && runErr == nil {
+		e.cfg.Telemetry.Span(telemetry.SpanRun, telemetry.TrackEngine, 0, int32(r), 0, float64(r))
+		if r > 0 {
+			// On the round abstraction one round is one simulated time unit,
+			// so rounds per simulated second is 1 by construction; sampling it
+			// keeps the series present for cross-engine comparisons.
+			e.cfg.Telemetry.Sample(telemetry.SeriesRoundsPerSec, float64(r), 1)
+		}
+	}
 	return res, runErr
+}
+
+// recordRound emits the telemetry of one finished round: a round span over
+// its unit time interval and the per-round traffic deltas against the
+// previous snapshot. Called only when recording.
+func (e *Engine) recordRound(r Round) {
+	rec := e.cfg.Telemetry
+	t := float64(r)
+	rec.Span(telemetry.SpanRound, telemetry.TrackEngine, int32(r), 0, t-1, t)
+	dc := e.ctr.Minus(e.telCtr)
+	dl := e.led.Minus(e.telLed)
+	rec.Sample(telemetry.SeriesDataMsgs, t, float64(dc.DataMsgs))
+	rec.Sample(telemetry.SeriesCtrlMsgs, t, float64(dc.CtrlMsgs))
+	rec.Sample(telemetry.SeriesDelivered, t, float64(dl.DeliveredData+dl.DeliveredCtrl))
+	rec.Sample(telemetry.SeriesDropped, t, float64(dc.DroppedData+dc.DroppedCtrl))
+	rec.Sample(telemetry.SeriesOmitted, t, float64(dc.OmittedData+dc.OmittedCtrl+dc.OmittedRecv))
+	rec.Sample(telemetry.SeriesLate, t, float64(dc.Late))
+	e.telCtr = e.ctr
+	e.telLed = e.led
 }
 
 // allQuiet reports whether every alive process has halted. The engine keeps

@@ -34,6 +34,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/timed"
 	"repro/internal/workload"
 )
@@ -100,6 +101,13 @@ type ServeOptions struct {
 	CrashAt map[sim.ProcID]float64
 	// Omit injects omission faults mid-stream; nil injects none.
 	Omit *OmitOptions
+	// Telemetry, when non-nil, records one slot span per committed slot on
+	// the service track ([launch, commit], count = batch size), per-slot
+	// rounds/batch-size/throughput series, and the commit latency of every
+	// command into the recorder's histogram. Spans are on the service clock,
+	// not the per-instance engine clock, so a whole stream reads as one
+	// timeline. A nil recorder costs nothing.
+	Telemetry *telemetry.Recorder
 }
 
 // Recovery records one leader crash and the service's recovery from it.
@@ -574,8 +582,18 @@ func Serve(opts ServeOptions) (*ServeResult, error) {
 			if l > latMax {
 				latMax = l
 			}
+			opts.Telemetry.Observe(l)
 		}
 		committed += len(batch)
+		if opts.Telemetry.Enabled() {
+			opts.Telemetry.Span(telemetry.SpanSlot, telemetry.TrackService,
+				int32(slot), int32(len(batch)), start, commit)
+			opts.Telemetry.Sample(telemetry.SeriesSlotRounds, commit, float64(out.Rounds))
+			opts.Telemetry.Sample(telemetry.SeriesSlotBatch, commit, float64(len(batch)))
+			if commit > 0 {
+				opts.Telemetry.Sample(telemetry.SeriesThroughput, commit, float64(committed)/commit)
+			}
+		}
 		if opts.Clients != nil {
 			for _, a := range batch {
 				heap.push(arrival{t: commit + opts.Clients.ThinkGap(), id: a.id})

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// fmtFloat renders a float in the shortest form that round-trips, the same
+// canonical formatting encoding/json uses — so exports are byte-identical
+// across runs and survive JSON round-trips.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ChromeTrace exports the spans as a Chrome trace_event JSON array that
+// loads in Perfetto and chrome://tracing. Each span becomes one complete
+// ("ph":"X") event; tracks become threads, named by metadata events.
+// Simulated time maps to microseconds (1 time unit = 1s). Spans are emitted
+// sorted by (track, start, end, kind, id), so ts is monotone within each
+// track and the byte output is deterministic.
+func (r *Recorder) ChromeTrace() []byte {
+	if r == nil {
+		return []byte("[]")
+	}
+	spans := make([]Span, len(r.spans))
+	copy(spans, r.spans)
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			// Longer span first so the enclosing interval opens before its
+			// children in the track (Perfetto nests by containment).
+			return a.End > b.End
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.ID < b.ID
+	})
+
+	var b bytes.Buffer
+	b.WriteByte('[')
+	first := true
+	emit := func(s string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(s)
+	}
+	// Thread-name metadata for every track that has spans.
+	var used [numTracks]bool
+	for _, s := range spans {
+		if s.Track >= 0 && s.Track < numTracks {
+			used[s.Track] = true
+		}
+	}
+	for t := Track(0); t < numTracks; t++ {
+		if !used[t] {
+			continue
+		}
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%q}}`, t, t.String()))
+	}
+	for _, s := range spans {
+		name := s.Kind.String()
+		if s.Kind != SpanRun {
+			name = fmt.Sprintf("%s %d", name, s.ID)
+		}
+		emit(fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d,"args":{"count":%d}}`,
+			name, s.Kind.String(), fmtFloat(s.Start*1e6), fmtFloat((s.End-s.Start)*1e6), s.Track, s.Count))
+	}
+	b.WriteByte(']')
+	return b.Bytes()
+}
+
+// MetricsJSON exports the series and the latency histogram as deterministic
+// JSON: series in SeriesID declaration order (empty series omitted), samples
+// in recording order, histogram buckets in bound order (zero buckets
+// omitted). Two runs of one configuration produce byte-identical output.
+func (r *Recorder) MetricsJSON() []byte {
+	var b bytes.Buffer
+	b.WriteString(`{"series":[`)
+	if r != nil {
+		firstSeries := true
+		for id := SeriesID(0); id < NumSeries; id++ {
+			samples := r.samples[id]
+			if len(samples) == 0 {
+				continue
+			}
+			if !firstSeries {
+				b.WriteByte(',')
+			}
+			firstSeries = false
+			fmt.Fprintf(&b, `{"name":%q,"samples":[`, id.String())
+			for i, s := range samples {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "[%s,%s]", fmtFloat(s.T), fmtFloat(s.V))
+			}
+			b.WriteString("]}")
+		}
+	}
+	b.WriteByte(']')
+	if r != nil && r.histN > 0 {
+		fmt.Fprintf(&b, `,"latency":{"count":%d,"max":%s,"buckets":[`, r.histN, fmtFloat(r.histMax))
+		first := true
+		for i := 0; i < histBuckets; i++ {
+			if r.hist[i] == 0 {
+				continue
+			}
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			le := "\"+Inf\""
+			if i < histBuckets-1 {
+				le = fmtFloat(histUpper(i))
+			}
+			fmt.Fprintf(&b, `{"le":%s,"count":%d}`, le, r.hist[i])
+		}
+		b.WriteString("]}")
+	}
+	b.WriteByte('}')
+	return b.Bytes()
+}
+
+// SlotTimelineJSON exports the service slot spans as a per-slot timeline:
+// one record per committed slot with its launch time, commit time, in-flight
+// latency, batch size, instance rounds and cumulative throughput. Slots are
+// emitted in commit order (the order the service recorded them), and floats
+// use the canonical formatting, so the output is byte-identical across runs.
+// Recorders without slot spans (single consensus runs) export an empty list.
+func (r *Recorder) SlotTimelineJSON() []byte {
+	var b bytes.Buffer
+	b.WriteString(`{"slots":[`)
+	if r != nil {
+		rounds := r.samples[SeriesSlotRounds]
+		thru := r.samples[SeriesThroughput]
+		i := 0
+		for _, s := range r.spans {
+			if s.Kind != SpanSlot {
+				continue
+			}
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `{"slot":%d,"start":%s,"commit":%s,"latency":%s,"batch":%d`,
+				s.ID, fmtFloat(s.Start), fmtFloat(s.End), fmtFloat(s.End-s.Start), s.Count)
+			// The slot series are recorded in lockstep with the slot spans,
+			// one sample per slot, so index i pairs them.
+			if i < len(rounds) {
+				fmt.Fprintf(&b, `,"rounds":%s`, fmtFloat(rounds[i].V))
+			}
+			if i < len(thru) {
+				fmt.Fprintf(&b, `,"throughput":%s`, fmtFloat(thru[i].V))
+			}
+			b.WriteByte('}')
+			i++
+		}
+	}
+	b.WriteString(`]}`)
+	return b.Bytes()
+}
+
+// HistogramTable renders the latency histogram as an aligned text table: one
+// row per non-empty bucket with its upper bound, count and cumulative share.
+// Empty when nothing was observed.
+func (r *Recorder) HistogramTable() string {
+	if r == nil || r.histN == 0 {
+		return ""
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%-12s %-10s %s\n", "latency <=", "count", "cumulative")
+	cum := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		if r.hist[i] == 0 {
+			continue
+		}
+		cum += r.hist[i]
+		le := "+Inf"
+		if i < histBuckets-1 {
+			le = fmtFloat(histUpper(i))
+		}
+		fmt.Fprintf(&b, "%-12s %-10d %.1f%%\n", le, r.hist[i], 100*float64(cum)/float64(r.histN))
+	}
+	fmt.Fprintf(&b, "observations %d, max %s\n", r.histN, fmtFloat(r.histMax))
+	return b.String()
+}
+
+// Timeline renders the spans as a human-readable text timeline, one span per
+// line, in the same deterministic order the Chrome export uses.
+func (r *Recorder) Timeline() string {
+	if r == nil || len(r.spans) == 0 {
+		return ""
+	}
+	spans := make([]Span, len(r.spans))
+	copy(spans, r.spans)
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End > b.End
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.ID < b.ID
+	})
+	var b bytes.Buffer
+	for _, s := range spans {
+		fmt.Fprintf(&b, "%-8s [%12s, %12s] %s %d",
+			s.Track.String(), fmtFloat(s.Start), fmtFloat(s.End), s.Kind.String(), s.ID)
+		if s.Count != 0 {
+			fmt.Fprintf(&b, " (count=%d)", s.Count)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -58,6 +59,11 @@ type Config struct {
 	// Latency prices messages and fixes the synchrony bound; nil uses
 	// DefaultModel.
 	Latency LatencyModel
+	// Telemetry, if non-nil, receives run/round spans on event-clock time,
+	// per-round traffic series, and — through the engine's des.Sim — event-
+	// batch spans and heap/pool samples on the DES track. The nil path costs
+	// nothing.
+	Telemetry *telemetry.Recorder
 }
 
 // Engine executes one job on the discrete-event clock. A fresh engine (New)
@@ -103,6 +109,12 @@ type Engine struct {
 	rounds sim.Round
 	err    error
 	ran    bool
+
+	// Telemetry bookkeeping: the open round's start time and the counter
+	// snapshots backing per-round deltas. Touched only when recording.
+	roundOpenT des.Time
+	telCtr     metrics.Counters
+	telLed     metrics.Ledger
 }
 
 // delivery is a pooled message arrival: the allocation-free replacement for
@@ -219,9 +231,13 @@ func (e *Engine) init(cfg Config, procs []sim.Process, adv sim.Adversary) error 
 	e.led = metrics.Ledger{}
 	e.freeDel = append(e.freeDel[:0], e.allDel...)
 	e.ds.Reset()
+	e.ds.Telemetry = cfg.Telemetry
 	e.rounds = 0
 	e.err = nil
 	e.ran = false
+	e.roundOpenT = 0
+	e.telCtr = metrics.Counters{}
+	e.telLed = metrics.Ledger{}
 	return nil
 }
 
@@ -320,7 +336,34 @@ func (e *Engine) Run() (*sim.Result, error) {
 		}
 	}
 	res.Counters.Rounds = int(e.rounds)
+	if e.cfg.Telemetry.Enabled() && e.err == nil {
+		e.cfg.Telemetry.Span(telemetry.SpanRun, telemetry.TrackEngine, 0, int32(e.rounds), 0, res.SimTime)
+		if res.SimTime > 0 {
+			e.cfg.Telemetry.Sample(telemetry.SeriesRoundsPerSec, res.SimTime,
+				float64(e.rounds)/res.SimTime)
+		}
+	}
 	return res, e.err
+}
+
+// recordRound emits the telemetry of one finished round: a round span over
+// its event-clock interval and the per-round traffic deltas against the
+// previous snapshot. Called at the end of the deadline sweep, only when
+// recording.
+func (e *Engine) recordRound(r sim.Round) {
+	rec := e.cfg.Telemetry
+	t := float64(e.ds.Now())
+	rec.Span(telemetry.SpanRound, telemetry.TrackEngine, int32(r), 0, float64(e.roundOpenT), t)
+	dc := e.ctr.Minus(e.telCtr)
+	dl := e.led.Minus(e.telLed)
+	rec.Sample(telemetry.SeriesDataMsgs, t, float64(dc.DataMsgs))
+	rec.Sample(telemetry.SeriesCtrlMsgs, t, float64(dc.CtrlMsgs))
+	rec.Sample(telemetry.SeriesDelivered, t, float64(dl.DeliveredData+dl.DeliveredCtrl))
+	rec.Sample(telemetry.SeriesDropped, t, float64(dc.DroppedData+dc.DroppedCtrl))
+	rec.Sample(telemetry.SeriesOmitted, t, float64(dc.OmittedData+dc.OmittedCtrl+dc.OmittedRecv))
+	rec.Sample(telemetry.SeriesLate, t, float64(dc.Late))
+	e.telCtr = e.ctr
+	e.telLed = e.led
 }
 
 // fail aborts the run after the current event.
@@ -341,6 +384,7 @@ func (e *Engine) allQuiet() bool { return e.aliveUnhalted == 0 }
 // receive phases observe exactly the messages that respected the bound.
 func (e *Engine) roundStart(r sim.Round) {
 	e.rounds = r
+	e.roundOpenT = e.ds.Now()
 	deadline := e.ds.Now() + e.roundDur
 	for i := range e.recvOmit {
 		e.recvOmit[i] = nil
@@ -601,6 +645,9 @@ func (e *Engine) applyRecvOmission(in []sim.Message, mask []bool, r sim.Round) [
 // at the current time (rounds are back to back — the receive and computation
 // phases fit inside the round's D, per the model).
 func (e *Engine) roundEnd(r sim.Round) {
+	if e.cfg.Telemetry.Enabled() {
+		e.recordRound(r)
+	}
 	if e.allQuiet() {
 		e.ds.Stop()
 		return

@@ -32,7 +32,10 @@ const (
 	KindNote
 )
 
-var kindNames = map[Kind]string{
+// kindNames is indexed by Kind (index 0 is the invalid zero kind). An array
+// lookup keeps String allocation- and lock-free on the transcript hot path,
+// where a map lookup would hash on every rendered event.
+var kindNames = [...]string{
 	KindSend:    "send",
 	KindDrop:    "drop",
 	KindDeliver: "deliver",
@@ -44,8 +47,8 @@ var kindNames = map[Kind]string{
 
 // String returns the lower-case name of the kind.
 func (k Kind) String() string {
-	if s, ok := kindNames[k]; ok {
-		return s
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -97,6 +100,16 @@ func (l *Log) Add(e Event) {
 		return
 	}
 	l.events = append(l.events, e)
+}
+
+// Reset empties the log for reuse, keeping the allocated capacity, so
+// reusable engines can recycle one transcript across runs instead of
+// reallocating. Reset on a nil log is a no-op.
+func (l *Log) Reset() {
+	if l == nil {
+		return
+	}
+	l.events = l.events[:0]
 }
 
 // Events returns the recorded events in order.

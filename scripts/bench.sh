@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern="${1:-^(BenchmarkE[0-9]+|BenchmarkExploreParallel|BenchmarkSweep|BenchmarkFuzz|BenchmarkDeterministicEngine|BenchmarkLockstepEngine|BenchmarkTimedEngine|BenchmarkServe|BenchmarkSMRThroughput)}"
+pattern="${1:-^(BenchmarkE[0-9]+|BenchmarkExploreParallel|BenchmarkSweep|BenchmarkFuzz|BenchmarkDeterministicEngine|BenchmarkLockstepEngine|BenchmarkTimedEngine|BenchmarkTelemetryOverhead|BenchmarkServe|BenchmarkSMRThroughput)}"
 benchtime="${BENCHTIME:-1s}"
 stamp="$(date -u +%Y-%m-%d)"
 out="BENCH_${stamp}.json"

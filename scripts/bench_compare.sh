@@ -35,7 +35,7 @@ benchtime="${BENCHTIME:-0.3s}"
 time_threshold="${TIME_THRESHOLD:-25}"    # percent ns/op growth before warning
 alloc_threshold="${ALLOC_THRESHOLD:-10}"  # percent allocs/op growth before failing
 strict_time="${STRICT_TIME:-0}"
-pattern="${PATTERN:-^(BenchmarkE[0-9]+|BenchmarkExploreParallel|BenchmarkSweep|BenchmarkFuzz|BenchmarkDeterministicEngine|BenchmarkLockstepEngine|BenchmarkTimedEngine|BenchmarkServe|BenchmarkSMRThroughput)}"
+pattern="${PATTERN:-^(BenchmarkE[0-9]+|BenchmarkExploreParallel|BenchmarkSweep|BenchmarkFuzz|BenchmarkDeterministicEngine|BenchmarkLockstepEngine|BenchmarkTimedEngine|BenchmarkTelemetryOverhead|BenchmarkServe|BenchmarkSMRThroughput)}"
 
 # Benchmarks whose allocs/op must match the baseline exactly: the
 # single-threaded deterministic hot paths the zero-alloc work of PR 1 pinned,
@@ -45,7 +45,7 @@ pattern="${PATTERN:-^(BenchmarkE[0-9]+|BenchmarkExploreParallel|BenchmarkSweep|B
 # audit (delivery ledger + post-run checks) rides these paths, so a regression
 # here means the audit started allocating — the ledger must stay plain
 # counters, never maps.
-zero_alloc_re='^Benchmark(E1FailureFree|E1RoundsVsFaults|E4EarlyStop|E4FloodSet|E5Exhaustive|DeterministicEngine|TimedEngine|LockstepEngine)$'
+zero_alloc_re='^Benchmark(E1FailureFree|E1RoundsVsFaults|E4EarlyStop|E4FloodSet|E5Exhaustive|DeterministicEngine|TimedEngine|LockstepEngine|TelemetryOverhead/(e1|timed)/off)$'
 # Benchmarks excluded from the alloc gate: worker pools scale with
 # GOMAXPROCS, randomized averages scale with the iteration count.
 skip_alloc_re='(ExploreParallel|/parallel$|E11AverageCase|E11Omission|E14LossyChannels)'
